@@ -1,0 +1,241 @@
+//! The composite good/faulty value algebra.
+//!
+//! PODEM reasons about the fault-free ("good") and faulty machine
+//! simultaneously.  Instead of the classical 5-valued {0, 1, X, D, D̄}
+//! alphabet we carry an explicit pair of three-valued components, which
+//! is closed under all gate operations (it is the 9-valued algebra of
+//! Muth; the classical five values are the diagonal + D/D̄).
+
+use std::fmt;
+
+/// Three-valued logic: known 0, known 1, or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tri {
+    /// Known 0.
+    Zero,
+    /// Known 1.
+    One,
+    /// Unassigned / unknown.
+    #[default]
+    X,
+}
+
+impl Tri {
+    /// Lifts a boolean.
+    pub fn known(v: bool) -> Self {
+        if v {
+            Tri::One
+        } else {
+            Tri::Zero
+        }
+    }
+
+    /// The boolean, if known.
+    pub fn value(self) -> Option<bool> {
+        match self {
+            Tri::Zero => Some(false),
+            Tri::One => Some(true),
+            Tri::X => None,
+        }
+    }
+
+    /// Three-valued negation.
+    pub fn not(self) -> Self {
+        match self {
+            Tri::Zero => Tri::One,
+            Tri::One => Tri::Zero,
+            Tri::X => Tri::X,
+        }
+    }
+
+    fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::Zero, _) | (_, Tri::Zero) => Tri::Zero,
+            (Tri::One, Tri::One) => Tri::One,
+            _ => Tri::X,
+        }
+    }
+
+    fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::One, _) | (_, Tri::One) => Tri::One,
+            (Tri::Zero, Tri::Zero) => Tri::Zero,
+            _ => Tri::X,
+        }
+    }
+
+    fn xor(self, other: Tri) -> Tri {
+        match (self.value(), other.value()) {
+            (Some(a), Some(b)) => Tri::known(a ^ b),
+            _ => Tri::X,
+        }
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tri::Zero => "0",
+            Tri::One => "1",
+            Tri::X => "X",
+        })
+    }
+}
+
+/// A good/faulty value pair.
+///
+/// `D` is `(1, 0)`, `D̄` is `(0, 1)`; plain constants have equal
+/// components; partially known mixed pairs like `(1, X)` arise naturally
+/// during implication and are handled uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dv {
+    /// Fault-free machine value.
+    pub good: Tri,
+    /// Faulty machine value.
+    pub faulty: Tri,
+}
+
+impl Dv {
+    /// Both machines unknown.
+    pub const X: Dv = Dv {
+        good: Tri::X,
+        faulty: Tri::X,
+    };
+
+    /// The same known value in both machines.
+    pub fn known(v: bool) -> Self {
+        Dv {
+            good: Tri::known(v),
+            faulty: Tri::known(v),
+        }
+    }
+
+    /// The classical `D` (good 1 / faulty 0).
+    pub fn d() -> Self {
+        Dv {
+            good: Tri::One,
+            faulty: Tri::Zero,
+        }
+    }
+
+    /// The classical `D̄` (good 0 / faulty 1).
+    pub fn dbar() -> Self {
+        Dv {
+            good: Tri::Zero,
+            faulty: Tri::One,
+        }
+    }
+
+    /// True iff both machines are known and disagree (a fault effect).
+    pub fn is_fault_effect(self) -> bool {
+        matches!(
+            (self.good.value(), self.faulty.value()),
+            (Some(g), Some(f)) if g != f
+        )
+    }
+
+    /// True iff either machine is unknown.
+    pub fn is_unknown(self) -> bool {
+        self.good == Tri::X || self.faulty == Tri::X
+    }
+
+    /// Negation in both machines.
+    pub fn not(self) -> Self {
+        Dv {
+            good: self.good.not(),
+            faulty: self.faulty.not(),
+        }
+    }
+
+    /// Componentwise AND.
+    pub fn and(self, other: Dv) -> Self {
+        Dv {
+            good: self.good.and(other.good),
+            faulty: self.faulty.and(other.faulty),
+        }
+    }
+
+    /// Componentwise OR.
+    pub fn or(self, other: Dv) -> Self {
+        Dv {
+            good: self.good.or(other.good),
+            faulty: self.faulty.or(other.faulty),
+        }
+    }
+
+    /// Componentwise XOR.
+    pub fn xor(self, other: Dv) -> Self {
+        Dv {
+            good: self.good.xor(other.good),
+            faulty: self.faulty.xor(other.faulty),
+        }
+    }
+}
+
+impl fmt::Display for Dv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.good, self.faulty) {
+            (Tri::One, Tri::Zero) => f.write_str("D"),
+            (Tri::Zero, Tri::One) => f.write_str("D'"),
+            (g, ff) if g == ff => write!(f, "{g}"),
+            (g, ff) => write!(f, "{g}/{ff}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_algebra_classics() {
+        let d = Dv::d();
+        let one = Dv::known(true);
+        let zero = Dv::known(false);
+        // D AND 1 = D;  D AND 0 = 0;  D OR 1 = 1;  D OR 0 = D.
+        assert_eq!(d.and(one), d);
+        assert_eq!(d.and(zero), zero);
+        assert_eq!(d.or(one), one);
+        assert_eq!(d.or(zero), d);
+        // NOT D = D'.
+        assert_eq!(d.not(), Dv::dbar());
+        // D AND D' = 0; D OR D' = 1; D XOR D' = 1; D XOR D = 0.
+        assert_eq!(d.and(Dv::dbar()), zero);
+        assert_eq!(d.or(Dv::dbar()), one);
+        assert_eq!(d.xor(Dv::dbar()), one);
+        assert_eq!(d.xor(d), zero);
+    }
+
+    #[test]
+    fn x_absorbs_partially() {
+        let x = Dv::X;
+        let zero = Dv::known(false);
+        let one = Dv::known(true);
+        assert_eq!(x.and(zero), zero); // controlling value wins
+        assert_eq!(x.or(one), one);
+        assert!(x.and(one).is_unknown());
+        assert!(x.xor(one).is_unknown());
+    }
+
+    #[test]
+    fn fault_effect_predicate() {
+        assert!(Dv::d().is_fault_effect());
+        assert!(Dv::dbar().is_fault_effect());
+        assert!(!Dv::known(true).is_fault_effect());
+        assert!(!Dv::X.is_fault_effect());
+        let mixed = Dv {
+            good: Tri::One,
+            faulty: Tri::X,
+        };
+        assert!(!mixed.is_fault_effect());
+        assert!(mixed.is_unknown());
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(Dv::d().to_string(), "D");
+        assert_eq!(Dv::dbar().to_string(), "D'");
+        assert_eq!(Dv::known(true).to_string(), "1");
+        assert_eq!(Dv::X.to_string(), "X");
+    }
+}

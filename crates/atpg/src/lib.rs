@@ -1,0 +1,37 @@
+//! Deterministic test pattern generation (PODEM) for stuck-at faults.
+//!
+//! The paper positions optimized random patterns *against* deterministic
+//! generation: "the computing time of optimizing and simulation together
+//! is less than computing test patterns by the D-algorithm" (§5.2).  This
+//! crate supplies that comparator: a PODEM-style path-oriented decision
+//! maker with complete backtracking, so it is also a *complete* redundancy
+//! identifier (a fault for which the search space is exhausted provably
+//! has no test) — strictly stronger than the constant-line proofs of
+//! `wrt-estimate`.
+//!
+//! # Example
+//!
+//! ```
+//! use wrt_atpg::{AtpgOutcome, Podem};
+//! use wrt_fault::Fault;
+//!
+//! # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+//! let c = wrt_circuit::parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! let y = c.node_id("y").expect("exists");
+//! let podem = Podem::new(&c);
+//! // y stuck-at-0 needs the all-ones pattern.
+//! match podem.generate(Fault::output(y, false)) {
+//!     AtpgOutcome::Test(t) => assert_eq!(t, vec![Some(true), Some(true)]),
+//!     other => panic!("expected a test, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+mod dvalue;
+mod podem;
+mod report;
+
+pub use dvalue::{Dv, Tri};
+pub use podem::{AtpgOutcome, Podem};
+pub use report::{generate_tests, AtpgConfig, AtpgReport};

@@ -1,0 +1,52 @@
+//! Simulation throughput benchmarks: bit-parallel logic simulation and
+//! PPSFP fault simulation, with the fault-dropping ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wrt_fault::FaultList;
+use wrt_sim::{fault_coverage, LogicSim, PatternSource, WeightedPatterns};
+
+fn logic_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim");
+    for name in ["c880ish", "c6288ish"] {
+        let circuit = wrt_workloads::by_name(name).expect("registered");
+        let blocks = 16u64;
+        group.throughput(Throughput::Elements(blocks * 64 * circuit.num_gates() as u64));
+        group.bench_function(BenchmarkId::new("blocks16", name), |b| {
+            b.iter(|| {
+                let mut sim = LogicSim::new(&circuit);
+                let mut source = WeightedPatterns::equiprobable(circuit.num_inputs(), 3);
+                for _ in 0..blocks {
+                    let block = source.next_block(64);
+                    sim.run(black_box(&block.words));
+                }
+                black_box(sim.output_words())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    group.sample_size(10);
+    for name in ["s1", "c2670ish"] {
+        let circuit = wrt_workloads::by_name(name).expect("registered");
+        let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+        let patterns = 1024u64;
+        group.throughput(Throughput::Elements(patterns * faults.len() as u64));
+        for drop in [true, false] {
+            let label = if drop { "dropping" } else { "no_drop" };
+            group.bench_function(BenchmarkId::new(label, name), |b| {
+                b.iter(|| {
+                    let source = WeightedPatterns::equiprobable(circuit.num_inputs(), 7);
+                    black_box(fault_coverage(&circuit, &faults, source, patterns, drop))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, logic_sim, fault_sim);
+criterion_main!(benches);

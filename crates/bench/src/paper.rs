@@ -1,0 +1,202 @@
+//! The paper's published numbers, for side-by-side comparison.
+//!
+//! Absolute agreement is not expected — the ISCAS-85 circuits are
+//! re-implementations of the same functional classes (DESIGN.md §3) and
+//! the estimation engines differ — but the *shape* must hold: which
+//! circuits are random-pattern resistant, by how many orders of
+//! magnitude optimization shrinks their test length, and where coverage
+//! lands at the paper's pattern counts.
+
+/// One row of Table 1 (and, for the starred circuits, Tables 2–5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Workload registry name of our re-implementation.
+    pub name: &'static str,
+    /// The paper's circuit name.
+    pub paper_name: &'static str,
+    /// Table 1: conventional random test length.
+    pub conventional_length: f64,
+    /// Starred in the paper (random-pattern resistant).
+    pub starred: bool,
+    /// Table 2: pattern count simulated conventionally (starred only).
+    pub sim_patterns: Option<u64>,
+    /// Table 2: fault coverage of conventional patterns, percent.
+    pub conventional_coverage: Option<f64>,
+    /// Table 3: optimized random test length (starred only).
+    pub optimized_length: Option<f64>,
+    /// Table 4: fault coverage of optimized patterns, percent
+    /// (at 12000/12000/4000/4000 patterns).
+    pub optimized_coverage: Option<f64>,
+    /// Table 5: optimization CPU seconds on a 2.5 MIPS SIEMENS 7561.
+    pub cpu_seconds: Option<f64>,
+}
+
+/// All twelve rows, in the paper's order.
+pub const ROWS: [PaperRow; 12] = [
+    PaperRow {
+        name: "s1",
+        paper_name: "S1",
+        conventional_length: 5.6e8,
+        starred: true,
+        sim_patterns: Some(12_000),
+        conventional_coverage: Some(80.7),
+        optimized_length: Some(3.5e4),
+        optimized_coverage: Some(99.7),
+        cpu_seconds: Some(300.0),
+    },
+    PaperRow {
+        name: "s2",
+        paper_name: "S2",
+        conventional_length: 2.0e11,
+        starred: true,
+        sim_patterns: Some(12_000),
+        conventional_coverage: Some(77.2),
+        optimized_length: Some(4.0e4),
+        optimized_coverage: Some(99.7),
+        cpu_seconds: Some(600.0),
+    },
+    PaperRow {
+        name: "c432ish",
+        paper_name: "C432",
+        conventional_length: 2.5e3,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c499ish",
+        paper_name: "C499",
+        conventional_length: 1.9e3,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c880ish",
+        paper_name: "C880",
+        conventional_length: 3.7e4,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c1355ish",
+        paper_name: "C1355",
+        conventional_length: 2.2e6,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c1908ish",
+        paper_name: "C1908",
+        conventional_length: 6.2e4,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c2670ish",
+        paper_name: "C2670",
+        conventional_length: 1.1e7,
+        starred: true,
+        sim_patterns: Some(4_000),
+        conventional_coverage: Some(88.0),
+        optimized_length: Some(6.9e4),
+        optimized_coverage: Some(99.7),
+        cpu_seconds: Some(1200.0),
+    },
+    PaperRow {
+        name: "c3540ish",
+        paper_name: "C3540",
+        conventional_length: 2.3e6,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c5315ish",
+        paper_name: "C5315",
+        conventional_length: 5.3e4,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c6288ish",
+        paper_name: "C6288",
+        conventional_length: 1.9e3,
+        starred: false,
+        sim_patterns: None,
+        conventional_coverage: None,
+        optimized_length: None,
+        optimized_coverage: None,
+        cpu_seconds: None,
+    },
+    PaperRow {
+        name: "c7552ish",
+        paper_name: "C7552",
+        conventional_length: 4.9e11,
+        starred: true,
+        sim_patterns: Some(4_096),
+        conventional_coverage: Some(93.9),
+        optimized_length: Some(1.2e5),
+        optimized_coverage: Some(98.9),
+        cpu_seconds: Some(2000.0),
+    },
+];
+
+/// The starred rows (Tables 2–5).
+pub fn starred() -> impl Iterator<Item = &'static PaperRow> {
+    ROWS.iter().filter(|r| r.starred)
+}
+
+/// Looks a row up by registry name.
+pub fn row(name: &str) -> Option<&'static PaperRow> {
+    ROWS.iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_the_registry() {
+        for name in wrt_workloads::WORKLOAD_NAMES {
+            assert!(row(name).is_some(), "missing paper row for {name}");
+        }
+        assert_eq!(starred().count(), 4);
+    }
+
+    #[test]
+    fn starred_rows_have_all_tables() {
+        for r in starred() {
+            assert!(r.sim_patterns.is_some());
+            assert!(r.conventional_coverage.is_some());
+            assert!(r.optimized_length.is_some());
+            assert!(r.optimized_coverage.is_some());
+            assert!(r.cpu_seconds.is_some());
+        }
+    }
+}

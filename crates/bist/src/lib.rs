@@ -1,0 +1,41 @@
+//! Built-in self-test (BIST) hardware models.
+//!
+//! "The most widely used self test techniques configure the circuit
+//! registers to linear feedback shift registers in order to produce and to
+//! evaluate test patterns" (paper §2.1).  This crate models that hardware:
+//!
+//! * [`Lfsr`] — linear feedback shift registers (Fibonacci and Galois),
+//!   with a table of primitive polynomials for maximal-length sequences;
+//! * [`Misr`] — multiple-input signature registers for response
+//!   compaction;
+//! * [`WeightedLfsr`] — the weighted-pattern generator: per-input dyadic
+//!   weights realized by ANDing LFSR bits, the hardware the optimized
+//!   probabilities of the paper are quantized for;
+//! * [`SelfTestSession`] — a BILBO-style self-test run: generate weighted
+//!   patterns, simulate the circuit under test, compact responses into a
+//!   signature, and compare against the fault-free golden signature.
+//!
+//! # Example
+//!
+//! ```
+//! use wrt_bist::Lfsr;
+//! let mut lfsr = Lfsr::maximal(8, 1).expect("degree 8 is tabulated");
+//! let first: Vec<bool> = (0..8).map(|_| lfsr.step()).collect();
+//! assert_eq!(first.len(), 8);
+//! ```
+
+mod bilbo;
+mod lfsr;
+mod misr;
+mod polynomials;
+mod scan;
+mod sequential;
+mod weighted;
+
+pub use bilbo::{SelfTestOutcome, SelfTestSession};
+pub use lfsr::{Lfsr, LfsrForm};
+pub use misr::Misr;
+pub use polynomials::{primitive_taps, MAX_TABULATED_DEGREE};
+pub use scan::{fits_test_budget, TestAccess};
+pub use sequential::{accumulator, SequentialCircuit, SequentialError};
+pub use weighted::{DyadicWeight, WeightedLfsr};

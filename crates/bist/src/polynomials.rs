@@ -1,0 +1,107 @@
+//! Primitive feedback polynomials for maximal-length LFSRs.
+//!
+//! One primitive polynomial per degree 2..=32 (tap positions from the
+//! standard tables, e.g. Xilinx XAPP052): an LFSR with these taps cycles
+//! through all `2^n − 1` non-zero states.
+
+/// Largest degree with a tabulated primitive polynomial.
+pub const MAX_TABULATED_DEGREE: u32 = 32;
+
+/// Tap mask of a primitive polynomial of the given degree, or `None` if
+/// the degree is outside `2..=32`.
+///
+/// The mask is laid out for a *right-shifting* Fibonacci register: tap
+/// position `k` (1-based, `k = degree` always present) sets bit
+/// `degree − k`, so bit 0 — the bit being shifted out — is always tapped,
+/// which keeps the state update bijective.  The feedback bit is the XOR
+/// of the tapped state bits.
+///
+/// # Example
+///
+/// ```
+/// let taps = wrt_bist::primitive_taps(4).expect("tabulated");
+/// assert_eq!(taps, 0b0011); // x^4 + x^3 + 1, positions {4, 3}
+/// ```
+pub fn primitive_taps(degree: u32) -> Option<u64> {
+    let positions: &[u32] = match degree {
+        2 => &[2, 1],
+        3 => &[3, 2],
+        4 => &[4, 3],
+        5 => &[5, 3],
+        6 => &[6, 5],
+        7 => &[7, 6],
+        8 => &[8, 6, 5, 4],
+        9 => &[9, 5],
+        10 => &[10, 7],
+        11 => &[11, 9],
+        12 => &[12, 6, 4, 1],
+        13 => &[13, 4, 3, 1],
+        14 => &[14, 5, 3, 1],
+        15 => &[15, 14],
+        16 => &[16, 15, 13, 4],
+        17 => &[17, 14],
+        18 => &[18, 11],
+        19 => &[19, 6, 2, 1],
+        20 => &[20, 17],
+        21 => &[21, 19],
+        22 => &[22, 21],
+        23 => &[23, 18],
+        24 => &[24, 23, 22, 17],
+        25 => &[25, 22],
+        26 => &[26, 6, 2, 1],
+        27 => &[27, 5, 2, 1],
+        28 => &[28, 25],
+        29 => &[29, 27],
+        30 => &[30, 6, 4, 1],
+        31 => &[31, 28],
+        32 => &[32, 22, 2, 1],
+        _ => return None,
+    };
+    Some(
+        positions
+            .iter()
+            .fold(0u64, |mask, &pos| mask | (1u64 << (degree - pos))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tabulated_degrees_present() {
+        for degree in 2..=MAX_TABULATED_DEGREE {
+            let taps = primitive_taps(degree).expect("tabulated");
+            assert!(taps & 1 != 0, "bit 0 always tapped (bijectivity)");
+            assert!(taps < (1u64 << degree));
+        }
+    }
+
+    #[test]
+    fn out_of_range_degrees_are_none() {
+        assert!(primitive_taps(0).is_none());
+        assert!(primitive_taps(1).is_none());
+        assert!(primitive_taps(33).is_none());
+    }
+
+    #[test]
+    fn small_degrees_achieve_maximal_period() {
+        // Exhaustively verify primitivity for degrees 2..=16 by cycling.
+        for degree in 2..=16u32 {
+            let taps = primitive_taps(degree).unwrap();
+            let mut state = 1u64;
+            let period_target = (1u64 << degree) - 1;
+            let mut period = 0u64;
+            loop {
+                let feedback = (state & taps).count_ones() & 1;
+                state = (state >> 1) | (u64::from(feedback) << (degree - 1));
+                period += 1;
+                if state == 1 {
+                    break;
+                }
+                assert!(period <= period_target, "degree {degree} cycled early");
+            }
+            assert_eq!(period, period_target, "degree {degree} not maximal");
+        }
+    }
+}

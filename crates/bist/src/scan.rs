@@ -1,0 +1,140 @@
+//! Scan-path test application and self-test timing.
+//!
+//! "The most widely used self test techniques configure the circuit
+//! registers to linear feedback shift registers … Therefore we can
+//! restrict our examinations to combinational networks" (§2.1): a
+//! sequential design under scan test is its combinational core plus a
+//! shift chain through the state registers.  This module models the cost
+//! side of that reduction — how long a random test of `N` patterns takes
+//! on silicon — which is what the paper's §5.3 claim "an optimized random
+//! self test needs less than 1 sec test time" is about.
+
+use std::time::Duration;
+
+/// A scan-based self-test configuration: how patterns physically reach
+/// the combinational core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestAccess {
+    /// Full parallel access (BILBO registers on every core input):
+    /// one clock per pattern.
+    Parallel,
+    /// One scan chain of the given length: a pattern costs
+    /// `chain_length` shift clocks plus one capture clock.
+    ScanChain {
+        /// Number of scan cells in the chain.
+        chain_length: usize,
+    },
+    /// Multiple balanced scan chains: cost is the longest chain + 1.
+    MultiChain {
+        /// Total scan cells.
+        cells: usize,
+        /// Number of parallel chains.
+        chains: usize,
+    },
+}
+
+impl TestAccess {
+    /// Clock cycles needed to apply one test pattern.
+    pub fn cycles_per_pattern(&self) -> u64 {
+        match *self {
+            TestAccess::Parallel => 1,
+            TestAccess::ScanChain { chain_length } => chain_length as u64 + 1,
+            TestAccess::MultiChain { cells, chains } => {
+                let chains = chains.max(1);
+                (cells.div_ceil(chains)) as u64 + 1
+            }
+        }
+    }
+
+    /// Total clock cycles for an `n`-pattern test.
+    pub fn cycles(&self, n: f64) -> f64 {
+        n * self.cycles_per_pattern() as f64
+    }
+
+    /// Wall-clock test time at the given test clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive.
+    pub fn test_time(&self, n: f64, clock_hz: f64) -> Duration {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        Duration::from_secs_f64(self.cycles(n) / clock_hz)
+    }
+}
+
+/// Convenience: the paper's §5.3 economics check — whether a random test
+/// of length `n` finishes within `budget` at `clock_hz` under the given
+/// access mechanism.
+pub fn fits_test_budget(access: TestAccess, n: f64, clock_hz: f64, budget: Duration) -> bool {
+    access.test_time(n, clock_hz) <= budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_counts() {
+        assert_eq!(TestAccess::Parallel.cycles_per_pattern(), 1);
+        assert_eq!(
+            TestAccess::ScanChain { chain_length: 48 }.cycles_per_pattern(),
+            49
+        );
+        assert_eq!(
+            TestAccess::MultiChain {
+                cells: 48,
+                chains: 4
+            }
+            .cycles_per_pattern(),
+            13
+        );
+    }
+
+    #[test]
+    fn paper_claim_optimized_s1_under_one_second() {
+        // §5.3: "for all circuits … an optimized random self test needs
+        // less than 1 sec test time".  Our optimized S1 length is ~4.3e4;
+        // with its 48 inputs as one scan chain at a modest 10 MHz:
+        let access = TestAccess::ScanChain { chain_length: 48 };
+        assert!(fits_test_budget(
+            access,
+            4.3e4,
+            10e6,
+            Duration::from_secs(1)
+        ));
+        // …while the conventional 7.2e9 patterns blow any budget:
+        assert!(!fits_test_budget(
+            access,
+            7.2e9,
+            10e6,
+            Duration::from_secs(60)
+        ));
+    }
+
+    #[test]
+    fn multichain_beats_single_chain() {
+        let single = TestAccess::ScanChain { chain_length: 128 };
+        let multi = TestAccess::MultiChain {
+            cells: 128,
+            chains: 8,
+        };
+        assert!(multi.cycles(1e4) < single.cycles(1e4));
+    }
+
+    #[test]
+    fn test_time_scales_with_clock() {
+        let access = TestAccess::Parallel;
+        let slow = access.test_time(1e6, 1e6);
+        let fast = access.test_time(1e6, 1e8);
+        assert_eq!(slow, Duration::from_secs(1));
+        assert_eq!(fast, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_chain_degenerates_to_parallel_plus_capture() {
+        assert_eq!(
+            TestAccess::ScanChain { chain_length: 0 }.cycles_per_pattern(),
+            1
+        );
+    }
+}

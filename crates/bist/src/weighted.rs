@@ -1,0 +1,216 @@
+//! Weighted pattern generation from LFSR bits.
+//!
+//! On-chip, an unequiprobable bit is produced by combining equiprobable
+//! LFSR bits: ANDing `k` bits gives weight `2^-k`, inverting gives
+//! `1 − 2^-k`.  The realizable weights are therefore *dyadic*; the
+//! continuous probabilities from `wrt-core` are first snapped to the
+//! nearest realizable value ([`DyadicWeight::closest`]).
+
+use wrt_sim::{PatternBlock, PatternSource};
+
+use crate::lfsr::Lfsr;
+
+/// A hardware-realizable weight: `2^-k` or `1 − 2^-k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyadicWeight {
+    /// Number of LFSR bits ANDed together (`k ≥ 1`).
+    pub bits: u32,
+    /// Invert the AND output (realizing `1 − 2^-k`).
+    pub invert: bool,
+}
+
+impl DyadicWeight {
+    /// The closest realizable weight to `w`, with at most `max_bits`
+    /// ANDed bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bits == 0`.
+    pub fn closest(w: f64, max_bits: u32) -> Self {
+        assert!(max_bits > 0, "need at least one LFSR bit");
+        let w = w.clamp(0.0, 1.0);
+        let (target, invert) = if w <= 0.5 { (w, false) } else { (1.0 - w, true) };
+        // Choose k minimizing |2^-k − target|.
+        let mut best = DyadicWeight { bits: 1, invert };
+        let mut best_err = (0.5 - target).abs();
+        for k in 2..=max_bits {
+            let err = (0.5f64.powi(k as i32) - target).abs();
+            if err < best_err {
+                best_err = err;
+                best = DyadicWeight { bits: k, invert };
+            }
+        }
+        best
+    }
+
+    /// The weight this configuration actually realizes.
+    pub fn realized(&self) -> f64 {
+        let base = 0.5f64.powi(self.bits as i32);
+        if self.invert {
+            1.0 - base
+        } else {
+            base
+        }
+    }
+}
+
+/// A weighted pattern generator driven by one LFSR.
+///
+/// Implements [`PatternSource`], so it can drive the fault simulator
+/// directly — this is the "patterns produced on the chip during self
+/// test" path of the paper's introduction.
+///
+/// # Example
+///
+/// ```
+/// use wrt_bist::WeightedLfsr;
+/// use wrt_sim::PatternSource;
+/// let mut gen = WeightedLfsr::from_weights(&[0.9, 0.1, 0.5], 4, 0xBEEF);
+/// let block = gen.next_block(64);
+/// assert_eq!(block.words.len(), 3);
+/// let realized = gen.realized_weights();
+/// assert!((realized[2] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedLfsr {
+    weights: Vec<DyadicWeight>,
+    lfsr: Lfsr,
+}
+
+impl WeightedLfsr {
+    /// Creates a generator with explicit per-input dyadic weights.
+    pub fn new(weights: Vec<DyadicWeight>, seed: u64) -> Self {
+        WeightedLfsr {
+            weights,
+            lfsr: Lfsr::maximal(32, seed).expect("degree 32 is tabulated"),
+        }
+    }
+
+    /// Creates a generator by snapping continuous weights to the closest
+    /// dyadic configuration with at most `max_bits` AND inputs.
+    pub fn from_weights(weights: &[f64], max_bits: u32, seed: u64) -> Self {
+        WeightedLfsr::new(
+            weights
+                .iter()
+                .map(|&w| DyadicWeight::closest(w, max_bits))
+                .collect(),
+            seed,
+        )
+    }
+
+    /// The weights the hardware actually realizes.
+    pub fn realized_weights(&self) -> Vec<f64> {
+        self.weights.iter().map(DyadicWeight::realized).collect()
+    }
+
+    /// Worst absolute difference between requested and realized weight.
+    pub fn quantization_error(&self, requested: &[f64]) -> f64 {
+        requested
+            .iter()
+            .zip(self.realized_weights())
+            .map(|(&r, q)| (r - q).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl PatternSource for WeightedLfsr {
+    fn next_block(&mut self, limit: u32) -> PatternBlock {
+        let limit = limit.clamp(1, 64);
+        let words = self
+            .weights
+            .iter()
+            .map(|w| {
+                let mut word = u64::MAX;
+                for _ in 0..w.bits {
+                    word &= self.lfsr.next_word(64);
+                }
+                if w.invert {
+                    !word
+                } else {
+                    word
+                }
+            })
+            .collect();
+        PatternBlock { words, len: limit }
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closest_picks_the_right_branch() {
+        assert_eq!(
+            DyadicWeight::closest(0.5, 8),
+            DyadicWeight {
+                bits: 1,
+                invert: false
+            }
+        );
+        assert_eq!(
+            DyadicWeight::closest(0.25, 8),
+            DyadicWeight {
+                bits: 2,
+                invert: false
+            }
+        );
+        assert_eq!(
+            DyadicWeight::closest(0.95, 8),
+            DyadicWeight {
+                bits: 4,
+                invert: true
+            }
+        ); // 1 - 1/16 = 0.9375 vs 1 - 1/32 = 0.96875: 0.96875 closer? |0.95-0.9375|=0.0125, |0.95-0.96875|=0.01875: bits=4 wins.
+    }
+
+    #[test]
+    fn realized_weight_roundtrip() {
+        for &w in &[0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.97] {
+            let d = DyadicWeight::closest(w, 6);
+            let r = d.realized();
+            assert!((r - w).abs() <= 0.26, "w = {w}, realized = {r}");
+        }
+    }
+
+    #[test]
+    fn max_bits_budget_is_respected() {
+        let d = DyadicWeight::closest(0.001, 3);
+        assert!(d.bits <= 3);
+        assert_eq!(d.realized(), 0.125);
+    }
+
+    #[test]
+    fn generated_bits_match_realized_weight() {
+        let mut generator = WeightedLfsr::from_weights(&[0.25, 0.875], 4, 77);
+        let mut ones = [0u64; 2];
+        let blocks = 400;
+        for _ in 0..blocks {
+            let b = generator.next_block(64);
+            ones[0] += u64::from(b.words[0].count_ones());
+            ones[1] += u64::from(b.words[1].count_ones());
+        }
+        let total = (blocks * 64) as f64;
+        assert!((ones[0] as f64 / total - 0.25).abs() < 0.02);
+        assert!((ones[1] as f64 / total - 0.875).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WeightedLfsr::from_weights(&[0.5; 4], 4, 9);
+        let mut b = WeightedLfsr::from_weights(&[0.5; 4], 4, 9);
+        assert_eq!(a.next_block(64), b.next_block(64));
+    }
+
+    #[test]
+    fn quantization_error_reported() {
+        let requested = [0.3, 0.95];
+        let generator = WeightedLfsr::from_weights(&requested, 4, 1);
+        let err = generator.quantization_error(&requested);
+        assert!(err > 0.0 && err < 0.06, "err = {err}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Programmatic circuit construction.
+
+use std::collections::HashMap;
+
+use crate::error::BuildCircuitError;
+use crate::gate::GateKind;
+use crate::levelize::Levels;
+use crate::netlist::{Circuit, Node, NodeId};
+
+/// Incremental builder for [`Circuit`]s.
+///
+/// Gates may only reference node ids the builder has already handed out, so
+/// the node list is topologically ordered *by construction* and cycles are
+/// unrepresentable.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), wrt_circuit::BuildCircuitError> {
+/// let mut b = CircuitBuilder::named("half_adder");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let sum = b.gate(GateKind::Xor, "sum", &[a, c])?;
+/// let carry = b.gate(GateKind::And, "carry", &[a, c])?;
+/// b.mark_output(sum);
+/// b.mark_output(carry);
+/// let ha = b.build()?;
+/// assert_eq!(ha.num_outputs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    name_index: HashMap<String, NodeId>,
+    errors: Vec<BuildCircuitError>,
+    anon_counter: u64,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder with an empty circuit name.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn named(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        loop {
+            let candidate = format!("_{prefix}{}", self.anon_counter);
+            self.anon_counter += 1;
+            if !self.name_index.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        if self.name_index.insert(node.name.clone(), id).is_some() {
+            self.errors
+                .push(BuildCircuitError::DuplicateName(node.name.clone()));
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a primary input and returns its id.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(Node {
+            name: name.into(),
+            kind: GateKind::Input,
+            fanin: Box::new([]),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant-0 driver.
+    pub fn const0(&mut self) -> NodeId {
+        let name = self.fresh_name("const0_");
+        self.push(Node {
+            name,
+            kind: GateKind::Const0,
+            fanin: Box::new([]),
+        })
+    }
+
+    /// Adds a constant-1 driver.
+    pub fn const1(&mut self) -> NodeId {
+        let name = self.fresh_name("const1_");
+        self.push(Node {
+            name,
+            kind: GateKind::Const1,
+            fanin: Box::new([]),
+        })
+    }
+
+    /// Adds a gate with an explicit name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error immediately if `kind` is [`GateKind::Input`], if the
+    /// arity is illegal for the kind, or if any fanin id was not previously
+    /// returned by this builder.  Duplicate names are reported at
+    /// [`CircuitBuilder::build`] time.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        name: impl Into<String>,
+        fanin: &[NodeId],
+    ) -> Result<NodeId, BuildCircuitError> {
+        let name = name.into();
+        if kind == GateKind::Input {
+            return Err(BuildCircuitError::InputAsGate(name));
+        }
+        let (lo, hi) = kind.arity_range();
+        if fanin.len() < lo || fanin.len() > hi {
+            return Err(BuildCircuitError::BadArity {
+                gate: name,
+                kind,
+                got: fanin.len(),
+            });
+        }
+        if fanin.iter().any(|f| f.index() >= self.nodes.len()) {
+            return Err(BuildCircuitError::UnknownFanin { gate: name });
+        }
+        Ok(self.push(Node {
+            name,
+            kind,
+            fanin: fanin.to_vec().into_boxed_slice(),
+        }))
+    }
+
+    /// Adds a gate with a generated name (`_g<N>`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::gate`].
+    pub fn gate_auto(
+        &mut self,
+        kind: GateKind,
+        fanin: &[NodeId],
+    ) -> Result<NodeId, BuildCircuitError> {
+        let name = self.fresh_name("g");
+        self.gate(kind, name, fanin)
+    }
+
+    /// Convenience: 2-input AND with a generated name.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::gate`].
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, BuildCircuitError> {
+        self.gate_auto(GateKind::And, &[a, b])
+    }
+
+    /// Convenience: 2-input OR with a generated name.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::gate`].
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, BuildCircuitError> {
+        self.gate_auto(GateKind::Or, &[a, b])
+    }
+
+    /// Convenience: 2-input XOR with a generated name.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::gate`].
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, BuildCircuitError> {
+        self.gate_auto(GateKind::Xor, &[a, b])
+    }
+
+    /// Convenience: inverter with a generated name.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::gate`].
+    pub fn not(&mut self, a: NodeId) -> Result<NodeId, BuildCircuitError> {
+        self.gate_auto(GateKind::Not, &[a])
+    }
+
+    /// Marks an existing node as a primary output.
+    pub fn mark_output(&mut self, id: NodeId) {
+        if self.outputs.contains(&id) {
+            let name = self.nodes[id.index()].name.clone();
+            self.errors.push(BuildCircuitError::DuplicateOutput(name));
+        } else {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Finalizes the circuit: checks global invariants, computes fanouts and
+    /// levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred error (duplicate names, duplicate outputs)
+    /// or a structural error (no inputs / no outputs).
+    pub fn build(self) -> Result<Circuit, BuildCircuitError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        if self.inputs.is_empty() {
+            return Err(BuildCircuitError::NoInputs);
+        }
+        if self.outputs.is_empty() {
+            return Err(BuildCircuitError::NoOutputs);
+        }
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &f in node.fanin.iter() {
+                fanouts[f.index()].push(NodeId::from_index(i));
+            }
+        }
+        let mut input_position = vec![usize::MAX; self.nodes.len()];
+        for (pos, id) in self.inputs.iter().enumerate() {
+            input_position[id.index()] = pos;
+        }
+        let levels = Levels::compute(&self.nodes);
+        Ok(Circuit {
+            name: self.name,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            fanouts,
+            name_index: self.name_index,
+            input_position,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_forward_references() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let bogus = NodeId::from_index(99);
+        let err = b.gate(GateKind::And, "g", &[a, bogus]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::UnknownFanin { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let err = b.gate(GateKind::Not, "n", &[a, c]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::BadArity { got: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_input_as_gate() {
+        let mut b = CircuitBuilder::new();
+        let err = b.gate(GateKind::Input, "i", &[]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::InputAsGate(_)));
+    }
+
+    #[test]
+    fn duplicate_names_reported_at_build() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("x");
+        let _ = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        b.mark_output(a);
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn empty_interfaces_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        // no outputs
+        let _ = a;
+        assert!(matches!(b.build(), Err(BuildCircuitError::NoOutputs)));
+
+        let mut b = CircuitBuilder::new();
+        let c0 = b.const1();
+        b.mark_output(c0);
+        assert!(matches!(b.build(), Err(BuildCircuitError::NoInputs)));
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.not(a).unwrap();
+        b.mark_output(g);
+        b.mark_output(g);
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::DuplicateOutput(_))
+        ));
+    }
+
+    #[test]
+    fn auto_names_never_collide() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g1 = b.gate_auto(GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate_auto(GateKind::Not, &[a]).unwrap();
+        b.mark_output(g1);
+        b.mark_output(g2);
+        let c = b.build().unwrap();
+        assert_eq!(c.num_nodes(), 3);
+    }
+
+    #[test]
+    fn constants_are_usable_as_fanin() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let one = b.const1();
+        let g = b.gate(GateKind::And, "g", &[a, one]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_gates(), 1);
+    }
+}

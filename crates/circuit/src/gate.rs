@@ -1,0 +1,250 @@
+//! Gate primitives.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The logic function computed by a node of a [`crate::Circuit`].
+///
+/// `Input` marks primary inputs (no fanin).  `Const0`/`Const1` are constant
+/// drivers (used e.g. for tied-off cascade inputs of library cells).
+/// All other kinds compute the usual Boolean functions of their fanin.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::GateKind;
+/// assert!(GateKind::Nand.is_inverting());
+/// assert_eq!("NAND".parse::<GateKind>().ok(), Some(GateKind::Nand));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Primary input (no fanin).
+    Input,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical NAND of all fanins.
+    Nand,
+    /// Logical OR of all fanins.
+    Or,
+    /// Logical NOR of all fanins.
+    Nor,
+    /// Odd parity (XOR) of all fanins.
+    Xor,
+    /// Even parity (XNOR) of all fanins.
+    Xnor,
+    /// Inverter (exactly one fanin).
+    Not,
+    /// Buffer (exactly one fanin); used by `.bench` fanout branches.
+    Buf,
+    /// Constant logic 0 (no fanin).
+    Const0,
+    /// Constant logic 1 (no fanin).
+    Const1,
+}
+
+impl GateKind {
+    /// All gate kinds, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [GateKind; 11] = [
+        GateKind::Input,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// Returns `true` if the gate output inverts relative to its
+    /// non-inverting base function (NAND, NOR, XNOR, NOT).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// Returns `true` for kinds that take no fanin (inputs and constants).
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// The range of legal fanin counts for this gate kind.
+    ///
+    /// `.bench` allows 1-input AND/OR (degenerating to a buffer); we accept
+    /// that too, since the ISCAS-85 netlists in the wild contain such gates.
+    pub fn arity_range(self) -> (usize, usize) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Not | GateKind::Buf => (1, 1),
+            _ => (1, usize::MAX),
+        }
+    }
+
+    /// Evaluates the gate over boolean fanin values.
+    ///
+    /// This is the scalar reference semantics; the bit-parallel simulator in
+    /// `wrt-sim` must agree with it (and is property-tested against it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of fanins is illegal for the kind (e.g. a NOT
+    /// with two fanins); circuits built through [`crate::CircuitBuilder`]
+    /// can never trigger this.
+    pub fn eval(self, fanin: &[bool]) -> bool {
+        match self {
+            GateKind::Input => panic!("primary inputs have no gate function"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::And => fanin.iter().all(|&v| v),
+            GateKind::Nand => !fanin.iter().all(|&v| v),
+            GateKind::Or => fanin.iter().any(|&v| v),
+            GateKind::Nor => !fanin.iter().any(|&v| v),
+            GateKind::Xor => fanin.iter().fold(false, |acc, &v| acc ^ v),
+            GateKind::Xnor => !fanin.iter().fold(false, |acc, &v| acc ^ v),
+            GateKind::Not => {
+                assert_eq!(fanin.len(), 1, "NOT takes exactly one fanin");
+                !fanin[0]
+            }
+            GateKind::Buf => {
+                assert_eq!(fanin.len(), 1, "BUF takes exactly one fanin");
+                fanin[0]
+            }
+        }
+    }
+
+    /// The `.bench` keyword for this gate kind.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// Error returned when parsing a [`GateKind`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError(pub(crate) String);
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    /// Parses a `.bench` keyword, case-insensitively.  `BUF` and `BUFF` are
+    /// both accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(GateKind::Input),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "CONST0" | "GND" => Ok(GateKind::Const0),
+            "CONST1" | "VDD" | "VCC" => Ok(GateKind::Const1),
+            other => Err(ParseGateKindError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_or_semantics() {
+        assert!(GateKind::And.eval(&[true, true, true]));
+        assert!(!GateKind::And.eval(&[true, false, true]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(!GateKind::Or.eval(&[false, false]));
+    }
+
+    #[test]
+    fn inverting_gates_negate_their_base() {
+        for vals in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(GateKind::Nand.eval(&vals), !GateKind::And.eval(&vals));
+            assert_eq!(GateKind::Nor.eval(&vals), !GateKind::Or.eval(&vals));
+            assert_eq!(GateKind::Xnor.eval(&vals), !GateKind::Xor.eval(&vals));
+        }
+    }
+
+    #[test]
+    fn xor_is_odd_parity() {
+        assert!(GateKind::Xor.eval(&[true, false, false]));
+        assert!(!GateKind::Xor.eval(&[true, true, false]));
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn not_and_buf() {
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Buf.eval(&[false]));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(!GateKind::Const0.eval(&[]));
+        assert!(GateKind::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn empty_and_is_true_empty_or_is_false() {
+        // Vacuous truth conventions; the builder never produces 0-ary
+        // AND/OR, but eval is total over the accepted range.
+        assert!(GateKind::And.eval(&[]));
+        assert!(!GateKind::Or.eval(&[]));
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kind in GateKind::ALL {
+            let parsed: GateKind = kind.bench_keyword().parse().expect("keyword parses");
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_knows_aliases() {
+        assert_eq!("nand".parse::<GateKind>().ok(), Some(GateKind::Nand));
+        assert_eq!("Buf".parse::<GateKind>().ok(), Some(GateKind::Buf));
+        assert_eq!("INV".parse::<GateKind>().ok(), Some(GateKind::Not));
+        assert!("MAJ".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn arity_ranges() {
+        assert_eq!(GateKind::Input.arity_range(), (0, 0));
+        assert_eq!(GateKind::Not.arity_range(), (1, 1));
+        assert_eq!(GateKind::And.arity_range().0, 1);
+    }
+}

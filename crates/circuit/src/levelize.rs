@@ -1,0 +1,115 @@
+//! Levelization: distance of each node from the primary inputs.
+
+use crate::netlist::{Node, NodeId};
+
+/// Levelization of a circuit.
+///
+/// Sources (inputs, constants) sit at level 0; a gate's level is one more
+/// than the maximum level of its fanin.  The *depth* of the circuit is the
+/// maximum level.  Levels group nodes into "waves" that event-driven
+/// algorithms can process front-to-back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    level: Vec<u32>,
+    depth: u32,
+    /// Node ids grouped by level; `by_level[l]` is sorted ascending.
+    by_level: Vec<Vec<NodeId>>,
+}
+
+impl Levels {
+    /// Computes levels for a topologically ordered node list.
+    pub(crate) fn compute(nodes: &[Node]) -> Self {
+        let mut level = vec![0u32; nodes.len()];
+        let mut depth = 0;
+        for (i, node) in nodes.iter().enumerate() {
+            let l = node
+                .fanin
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            depth = depth.max(l);
+        }
+        let mut by_level = vec![Vec::new(); depth as usize + 1];
+        for (i, &l) in level.iter().enumerate() {
+            by_level[l as usize].push(NodeId::from_index(i));
+        }
+        Levels {
+            level,
+            depth,
+            by_level,
+        }
+    }
+
+    /// The level of a node (0 for sources).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The circuit depth (maximum level over all nodes).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// All nodes at the given level, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > self.depth()`.
+    pub fn nodes_at(&self, level: u32) -> &[NodeId] {
+        &self.by_level[level as usize]
+    }
+
+    /// Iterates over levels `0..=depth` as slices of node ids.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.by_level.iter().map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn chain_depth() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let mut cur = a;
+        for i in 0..5 {
+            cur = b.gate(GateKind::Not, format!("n{i}"), &[cur]).unwrap();
+        }
+        b.mark_output(cur);
+        let c = b.build().unwrap();
+        assert_eq!(c.levels().depth(), 5);
+        assert_eq!(c.levels().level(a), 0);
+        assert_eq!(c.levels().level(cur), 5);
+    }
+
+    #[test]
+    fn level_is_max_of_fanin_plus_one() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.input("x");
+        let n = b.not(a).unwrap(); // level 1
+        let g = b.and2(n, x).unwrap(); // level 2 (max(1,0)+1)
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        assert_eq!(c.levels().level(g), 2);
+        assert_eq!(c.levels().nodes_at(0).len(), 2);
+        assert_eq!(c.levels().nodes_at(2), &[g]);
+    }
+
+    #[test]
+    fn levels_partition_all_nodes() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.input("x");
+        let g1 = b.and2(a, x).unwrap();
+        let g2 = b.or2(g1, a).unwrap();
+        b.mark_output(g2);
+        let c = b.build().unwrap();
+        let total: usize = c.levels().iter().map(<[_]>::len).sum();
+        assert_eq!(total, c.num_nodes());
+    }
+}

@@ -1,0 +1,274 @@
+//! The immutable, topologically ordered circuit representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::levelize::Levels;
+
+/// Identifier of a node (primary input or gate) within one [`Circuit`].
+///
+/// Node ids are dense indices `0..circuit.num_nodes()` and are assigned in
+/// topological order: every node's fanin has a smaller id.  This invariant
+/// is what lets simulators and estimators run a single forward pass over
+/// `0..n` without any scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a dense index.
+    ///
+    /// Intended for iteration (`(0..n).map(NodeId::from_index)`); ids built
+    /// this way are only meaningful for the circuit whose node count bounds
+    /// them.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of a [`Circuit`]: a primary input, constant, or logic gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanin: Box<[NodeId]>,
+}
+
+impl Node {
+    /// The node's name (unique within its circuit).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The logic function of this node.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The fanin nodes, in declaration order.
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+}
+
+/// An immutable combinational gate-level network.
+///
+/// Constructed through [`crate::CircuitBuilder`] or [`crate::parse_bench`];
+/// once built, a circuit is validated (acyclic by construction, arities
+/// checked, unique names) and its nodes are stored in topological order.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::parse_bench;
+///
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = parse_bench(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+/// )?;
+/// assert_eq!(c.num_gates(), 1);
+/// assert_eq!(c.levels().depth(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub(crate) name: String,
+    /// Nodes in topological order (fanin ids < own id).
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    /// `fanouts[i]` lists all nodes that have node `i` in their fanin.
+    pub(crate) fanouts: Vec<Vec<NodeId>>,
+    pub(crate) name_index: HashMap<String, NodeId>,
+    /// Position of each primary input in `inputs`, by node index
+    /// (`usize::MAX` for non-inputs).
+    pub(crate) input_position: Vec<usize>,
+    pub(crate) levels: Levels,
+}
+
+impl Circuit {
+    /// The circuit's name (e.g. `"s1"`, `"c6288ish"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes, including primary inputs and constants.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (all nodes that are not sources).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.kind.is_source()).count()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, node)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+
+    /// All node ids in topological order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + 'static {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The nodes driven by `id` (its fanout), in declaration order.
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Looks a node up by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// If `id` is a primary input, its position within [`Circuit::inputs`].
+    pub fn input_position(&self, id: NodeId) -> Option<usize> {
+        let p = self.input_position[id.index()];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// Whether `id` is a primary output.
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// The levelization of the circuit (see [`Levels`]).
+    pub fn levels(&self) -> &Levels {
+        &self.levels
+    }
+
+    /// Maximum fanin count over all gates.
+    pub fn max_fanin(&self) -> usize {
+        self.nodes.iter().map(|n| n.fanin.len()).max().unwrap_or(0)
+    }
+
+    /// Nodes with more than one fanout (fanout stems), the source of
+    /// reconvergence and thus of signal correlation.
+    pub fn fanout_stems(&self) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&id| self.fanout(id).len() > 1)
+            .collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, depth {}",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_gates(),
+            self.levels.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn topological_invariant_holds() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.gate(GateKind::And, "g1", &[a, c]).unwrap();
+        let g2 = b.gate(GateKind::Or, "g2", &[g1, a]).unwrap();
+        b.mark_output(g2);
+        let circuit = b.build().unwrap();
+        for (id, node) in circuit.iter() {
+            for &f in node.fanin() {
+                assert!(f < id, "fanin {f} must precede {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_are_inverse_of_fanins() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let n = b.gate(GateKind::Not, "n", &[a]).unwrap();
+        let g = b.gate(GateKind::And, "g", &[a, n]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        assert_eq!(c.fanout(a), &[n, g]);
+        assert_eq!(c.fanout(n), &[g]);
+        assert!(c.fanout(g).is_empty());
+        assert_eq!(c.fanout_stems(), vec![a]);
+    }
+
+    #[test]
+    fn lookup_by_name_and_input_position() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.input("x");
+        let g = b.gate(GateKind::Xor, "g", &[a, x]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        assert_eq!(c.node_id("x"), Some(x));
+        assert_eq!(c.node_id("nope"), None);
+        assert_eq!(c.input_position(x), Some(1));
+        assert_eq!(c.input_position(g), None);
+        assert!(c.is_output(g));
+        assert!(!c.is_output(a));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", &[a]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        let s = format!("{c}");
+        assert!(s.contains("1 inputs"));
+        assert!(s.contains("1 gates"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Parser for the ISCAS-85 `.bench` netlist format.
+//!
+//! The format (used by the circuits of Table 1 in the paper, distributed at
+//! the ISCAS'85 test session \[BRGL85\]) is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(y)
+//! y = NAND(a, b)
+//! b = NOT(a)
+//! ```
+//!
+//! Signals may be referenced before they are defined; the parser performs
+//! its own topological ordering and rejects combinational cycles.
+
+use std::collections::HashMap;
+
+use crate::builder::CircuitBuilder;
+use crate::error::ParseBenchError;
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId};
+
+#[derive(Debug)]
+struct RawGate {
+    name: String,
+    kind: GateKind,
+    fanin: Vec<String>,
+    line: usize,
+}
+
+/// Parses a `.bench` netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, undefined signals,
+/// combinational cycles, or structural violations (duplicate definitions,
+/// missing inputs/outputs, wrong gate arity).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = wrt_circuit::parse_bench(
+///     "# tiny\nINPUT(a)\nINPUT(b)\nOUTPUT(s)\ns = XOR(a, b)\n",
+/// )?;
+/// assert_eq!(c.num_inputs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
+    parse_bench_named(text, "bench")
+}
+
+/// Like [`parse_bench`] but sets the circuit's name.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_bench`].
+pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(inner) = strip_call(code, "INPUT") {
+            inputs.push((inner.trim().to_string(), line));
+        } else if let Some(inner) = strip_call(code, "OUTPUT") {
+            outputs.push((inner.trim().to_string(), line));
+        } else if let Some(eq) = code.find('=') {
+            let target = code[..eq].trim();
+            let rhs = code[eq + 1..].trim();
+            if target.is_empty() {
+                return Err(syntax(line, "missing signal name before `=`"));
+            }
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| syntax(line, "expected `KIND(args)` after `=`"))?;
+            if !rhs.ends_with(')') {
+                return Err(syntax(line, "missing closing `)`"));
+            }
+            let kind: GateKind = rhs[..open]
+                .trim()
+                .parse()
+                .map_err(|e| syntax(line, &format!("{e}")))?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanin: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            gates.push(RawGate {
+                name: target.to_string(),
+                kind,
+                fanin,
+                line,
+            });
+        } else {
+            return Err(syntax(line, "expected INPUT(..), OUTPUT(..) or `sig = KIND(..)`"));
+        }
+    }
+
+    // Index all definitions.
+    let mut def: HashMap<&str, usize> = HashMap::new(); // name -> gates index
+    for (i, g) in gates.iter().enumerate() {
+        if def.insert(g.name.as_str(), i).is_some() {
+            return Err(syntax(
+                g.line,
+                &format!("signal `{}` defined more than once", g.name),
+            ));
+        }
+    }
+    for (name, line) in &inputs {
+        if def.contains_key(name.as_str()) {
+            return Err(syntax(
+                *line,
+                &format!("signal `{name}` is both an input and a gate output"),
+            ));
+        }
+    }
+
+    // Build: inputs first, then gates in dependency (DFS post) order.
+    let mut builder = CircuitBuilder::named(name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for (name, _) in &inputs {
+        if ids.contains_key(name) {
+            // Let the builder report the duplicate-name error uniformly.
+        }
+        let id = builder.input(name.clone());
+        ids.insert(name.clone(), id);
+    }
+
+    // Iterative DFS over gate dependencies.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark = vec![Mark::White; gates.len()];
+    for start in 0..gates.len() {
+        if mark[start] == Mark::Black {
+            continue;
+        }
+        // stack of (gate index, next fanin position)
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        mark[start] = Mark::Grey;
+        while let Some(&mut (gi, ref mut pos)) = stack.last_mut() {
+            let g = &gates[gi];
+            if *pos < g.fanin.len() {
+                let fname = &g.fanin[*pos];
+                *pos += 1;
+                if ids.contains_key(fname) {
+                    continue; // already materialized (input or finished gate)
+                }
+                let Some(&fi) = def.get(fname.as_str()) else {
+                    return Err(ParseBenchError::UndefinedSignal(fname.clone()));
+                };
+                match mark[fi] {
+                    Mark::Black => {}
+                    Mark::Grey => return Err(ParseBenchError::Cycle(fname.clone())),
+                    Mark::White => {
+                        mark[fi] = Mark::Grey;
+                        stack.push((fi, 0));
+                    }
+                }
+            } else {
+                // All fanins materialized: emit this gate.
+                let fanin_ids: Vec<NodeId> =
+                    g.fanin.iter().map(|f| ids[f.as_str()]).collect();
+                let id = builder.gate(g.kind, g.name.clone(), &fanin_ids)?;
+                ids.insert(g.name.clone(), id);
+                mark[gi] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+
+    for (oname, _) in &outputs {
+        let Some(&id) = ids.get(oname) else {
+            return Err(ParseBenchError::UndefinedSignal(oname.clone()));
+        };
+        builder.mark_output(id);
+    }
+
+    Ok(builder.build()?)
+}
+
+fn strip_call<'a>(code: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = code.strip_prefix(keyword)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+fn syntax(line: usize, message: &str) -> ParseBenchError {
+    ParseBenchError::Syntax {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_forward_references() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = NOT(a)\n").unwrap();
+        assert_eq!(c.num_gates(), 2);
+        // m must come before y in topological order
+        let m = c.node_id("m").unwrap();
+        let y = c.node_id("y").unwrap();
+        assert!(m < y);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = parse_bench("# header\n\nINPUT(a)\nOUTPUT(y) # trailing\ny = BUFF(a)\n").unwrap();
+        assert_eq!(c.num_inputs(), 1);
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let err =
+            parse_bench("INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Cycle(_)));
+    }
+
+    #[test]
+    fn detects_undefined_signals() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+        assert_eq!(err, ParseBenchError::UndefinedSignal("ghost".into()));
+    }
+
+    #[test]
+    fn detects_undefined_output() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n").unwrap_err();
+        assert_eq!(err, ParseBenchError::UndefinedSignal("nope".into()));
+    }
+
+    #[test]
+    fn detects_double_definition() {
+        let err =
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 4, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let err = parse_bench("INPUT(a)\nwat\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_gate_kind() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { .. }));
+    }
+
+    #[test]
+    fn input_also_gate_output_rejected() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { .. }));
+    }
+
+    #[test]
+    fn output_can_be_an_input() {
+        // An input wired straight to an output is legal in .bench.
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(a)\nOUTPUT(y)\ny = NOT(b)\n").unwrap();
+        assert_eq!(c.num_outputs(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 50_000-gate chain; the DFS must be iterative.
+        let mut text = String::from("INPUT(x0)\nOUTPUT(x50000)\n");
+        // Define in *reverse* order to force maximal DFS depth.
+        for i in (1..=50_000).rev() {
+            text.push_str(&format!("x{i} = NOT(x{})\n", i - 1));
+        }
+        let c = parse_bench(&text).unwrap();
+        assert_eq!(c.num_gates(), 50_000);
+    }
+}

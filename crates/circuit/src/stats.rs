@@ -1,0 +1,95 @@
+//! Summary statistics for circuits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::Circuit;
+
+/// Aggregate statistics of a circuit, for reports and sanity checks.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = wrt_circuit::parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+/// let stats = wrt_circuit::CircuitStats::of(&c);
+/// assert_eq!(stats.gates, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Logic gate count (excluding inputs/constants).
+    pub gates: usize,
+    /// Total node count.
+    pub nodes: usize,
+    /// Circuit depth in gate levels.
+    pub depth: u32,
+    /// Number of fanout stems (nodes with fanout > 1).
+    pub stems: usize,
+    /// Gate count per kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut by_kind = BTreeMap::new();
+        for (_, n) in circuit.iter() {
+            if !n.kind().is_source() {
+                *by_kind.entry(n.kind()).or_insert(0) += 1;
+            }
+        }
+        CircuitStats {
+            name: circuit.name().to_string(),
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            gates: circuit.num_gates(),
+            nodes: circuit.num_nodes(),
+            depth: circuit.levels().depth(),
+            stems: circuit.fanout_stems().len(),
+            by_kind,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PIs, {} POs, {} gates, depth {}, {} stems",
+            self.name, self.inputs, self.outputs, self.gates, self.depth, self.stems
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_bench;
+
+    #[test]
+    fn counts_by_kind() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = NAND(a, b)\nn = NAND(a, m)\ny = XOR(m, n)\n",
+        )
+        .unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.by_kind[&GateKind::Nand], 2);
+        assert_eq!(s.by_kind[&GateKind::Xor], 1);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.stems, 2); // a and m both fan out twice
+        assert!(format!("{s}").contains("NAND: 2"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Subcommand implementations.
+
+use wrt_atpg::{generate_tests, AtpgConfig};
+use wrt_circuit::{Circuit, CircuitStats};
+use wrt_core::{quantize_weights, required_test_length, OptimizeConfig};
+use wrt_estimate::{constant_line_faults, CopEngine, DetectionProbabilityEngine};
+use wrt_fault::FaultList;
+use wrt_sim::{fault_coverage, WeightedPatterns};
+
+pub const USAGE: &str = "usage: wrt <command> [args]
+
+commands:
+  stats    <circuit>                              circuit statistics
+  analyze  <circuit>                              testability report
+  optimize <circuit> [--grid G] [--confidence C]  optimized input probabilities
+  simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S]
+  atpg     <circuit> [--backtracks B]             deterministic test generation
+  workloads                                       list built-in circuits
+
+<circuit> is a workload name (see `wrt workloads`) or a .bench file path.";
+
+fn load_circuit(arg: &str) -> Result<Circuit, String> {
+    if let Some(circuit) = wrt_workloads::by_name(arg) {
+        return Ok(circuit);
+    }
+    let text = std::fs::read_to_string(arg)
+        .map_err(|e| format!("`{arg}` is neither a workload name nor a readable file: {e}"))?;
+    wrt_circuit::parse_bench_named(&text, arg).map_err(|e| format!("parsing `{arg}`: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for {name}")),
+    }
+}
+
+fn circuit_arg(args: &[String]) -> Result<Circuit, String> {
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| format!("missing circuit argument\n{USAGE}"))?;
+    load_circuit(name)
+}
+
+fn is_flag_value(args: &[String], candidate: &String) -> bool {
+    args.iter()
+        .position(|a| std::ptr::eq(a, candidate))
+        .is_some_and(|i| i > 0 && args[i - 1].starts_with("--"))
+}
+
+fn experiment_faults(circuit: &Circuit) -> FaultList {
+    let checkpoints = FaultList::checkpoints(circuit).collapse_equivalent(circuit);
+    let redundant = constant_line_faults(circuit, &checkpoints, 14);
+    checkpoints
+        .iter()
+        .zip(&redundant)
+        .filter(|(_, &r)| !r)
+        .map(|((_, f), _)| f)
+        .collect()
+}
+
+pub fn workloads() -> Result<(), String> {
+    for name in wrt_workloads::WORKLOAD_NAMES {
+        let circuit = wrt_workloads::by_name(name).expect("registered");
+        println!(
+            "{name:10} {:4} inputs {:4} outputs {:5} gates",
+            circuit.num_inputs(),
+            circuit.num_outputs(),
+            circuit.num_gates()
+        );
+    }
+    Ok(())
+}
+
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let circuit = circuit_arg(args)?;
+    print!("{}", CircuitStats::of(&circuit));
+    Ok(())
+}
+
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let circuit = circuit_arg(args)?;
+    let faults = experiment_faults(&circuit);
+    let probs = vec![0.5; circuit.num_inputs()];
+    let mut engine = CopEngine::new();
+    let estimates = engine.estimate(&circuit, &faults, &probs);
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]));
+    println!("{}", CircuitStats::of(&circuit));
+    println!("{} collapsed, detectable checkpoint faults", faults.len());
+    println!();
+    println!("hardest faults at p = 0.5:");
+    for &k in order.iter().take(10) {
+        let fault = faults.fault(wrt_fault::FaultId::from_index(k));
+        println!("  {:<32} p = {:.3e}", fault.describe(&circuit), estimates[k]);
+    }
+    let detectable: Vec<f64> = estimates.iter().copied().filter(|&p| p > 0.0).collect();
+    let tl = required_test_length(&detectable, 1e-3);
+    println!();
+    println!(
+        "conventional random test length (99.9 %): {:.3e} patterns ({} relevant faults)",
+        tl.patterns(),
+        tl.num_relevant()
+    );
+    Ok(())
+}
+
+pub fn optimize(args: &[String]) -> Result<(), String> {
+    let circuit = circuit_arg(args)?;
+    let grid: f64 = parse_flag(args, "--grid", 0.05)?;
+    let confidence: f64 = parse_flag(args, "--confidence", 0.999)?;
+    if !(0.0..1.0).contains(&confidence) || confidence <= 0.0 {
+        return Err("--confidence must be in (0, 1)".into());
+    }
+    let faults = experiment_faults(&circuit);
+    let config = OptimizeConfig {
+        confidence,
+        ..OptimizeConfig::default()
+    };
+    let mut engine = CopEngine::new();
+    let result = wrt_core::optimize(&circuit, &faults, &mut engine, &config);
+    println!(
+        "test length: {:.3e} -> {:.3e}  (factor {:.1}, {} sweeps, {} engine calls)",
+        result.initial_length,
+        result.final_length,
+        result.improvement_factor(),
+        result.sweeps.len(),
+        result.engine_calls
+    );
+    let weights = quantize_weights(&result.weights, grid);
+    println!("optimized probabilities (grid {grid}):");
+    for (&pi, w) in circuit.inputs().iter().zip(&weights) {
+        println!("  {:<12} {w:.2}", circuit.node(pi).name());
+    }
+    Ok(())
+}
+
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let circuit = circuit_arg(args)?;
+    let patterns: u64 = parse_flag(args, "--patterns", 0)?;
+    if patterns == 0 {
+        return Err("simulate requires --patterns N".into());
+    }
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let weights = match flag_value(args, "--weights") {
+        None => vec![0.5; circuit.num_inputs()],
+        Some(raw) => {
+            let parsed: Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
+            let parsed = parsed.map_err(|_| "invalid --weights list".to_string())?;
+            if parsed.len() != circuit.num_inputs() {
+                return Err(format!(
+                    "--weights needs {} values, got {}",
+                    circuit.num_inputs(),
+                    parsed.len()
+                ));
+            }
+            parsed
+        }
+    };
+    let faults = experiment_faults(&circuit);
+    let result = fault_coverage(
+        &circuit,
+        &faults,
+        WeightedPatterns::new(weights, seed),
+        patterns,
+        true,
+    );
+    println!("{result}");
+    Ok(())
+}
+
+pub fn atpg(args: &[String]) -> Result<(), String> {
+    let circuit = circuit_arg(args)?;
+    let backtracks: usize = parse_flag(args, "--backtracks", 10_000)?;
+    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+    let config = AtpgConfig {
+        backtrack_limit: backtracks,
+        ..AtpgConfig::default()
+    };
+    let report = generate_tests(&circuit, &faults, &config);
+    println!(
+        "{} faults: {} detected, {} redundant, {} aborted",
+        faults.len(),
+        report.detected.len(),
+        report.redundant.len(),
+        report.aborted.len()
+    );
+    println!(
+        "{} tests generated with {} PODEM calls (coverage {:.1} %)",
+        report.tests.len(),
+        report.podem_calls,
+        report.coverage() * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn load_circuit_resolves_workloads_and_files() {
+        assert!(load_circuit("s1").is_ok());
+        assert!(load_circuit("definitely-not-a-circuit").is_err());
+        let dir = std::env::temp_dir().join("wrt_cli_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("tiny.bench");
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").expect("write");
+        let circuit = load_circuit(path.to_str().expect("utf8 path")).expect("parses");
+        assert_eq!(circuit.num_gates(), 1);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["s1", "--patterns", "128", "--seed", "7"]);
+        assert_eq!(parse_flag(&a, "--patterns", 0u64).unwrap(), 128);
+        assert_eq!(parse_flag(&a, "--seed", 0u64).unwrap(), 7);
+        assert_eq!(parse_flag(&a, "--missing", 42u64).unwrap(), 42);
+        assert!(parse_flag::<u64>(&args(&["--patterns", "xyz"]), "--patterns", 0).is_err());
+    }
+
+    #[test]
+    fn circuit_arg_skips_flag_values() {
+        // `128` must not be mistaken for the circuit name.
+        let a = args(&["--patterns", "128", "c880ish"]);
+        let circuit = circuit_arg(&a).expect("resolves");
+        assert_eq!(circuit.name(), "c880ish");
+    }
+
+    #[test]
+    fn commands_run_end_to_end_on_a_small_workload() {
+        assert!(workloads().is_ok());
+        assert!(stats(&args(&["c880ish"])).is_ok());
+        assert!(simulate(&args(&["c880ish", "--patterns", "256"])).is_ok());
+        assert!(simulate(&args(&["c880ish"])).is_err()); // missing --patterns
+        assert!(atpg(&args(&["c880ish"])).is_ok());
+    }
+
+    #[test]
+    fn simulate_rejects_wrong_weight_count() {
+        let a = args(&["c880ish", "--patterns", "64", "--weights", "0.5,0.5"]);
+        assert!(simulate(&a).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! `wrt` — command-line front end for the weighted-random-testing
+//! workspace.
+//!
+//! ```text
+//! wrt stats    <netlist.bench | workload>          circuit statistics
+//! wrt analyze  <netlist.bench | workload>          testability report
+//! wrt optimize <netlist.bench | workload> [--grid G] [--confidence C]
+//! wrt simulate <netlist.bench | workload> --patterns N [--weights w1,w2,…]
+//! wrt atpg     <netlist.bench | workload> [--backtracks B]
+//! wrt workloads                                    list built-in circuits
+//! ```
+//!
+//! A circuit argument is first tried as a workload registry name
+//! (e.g. `s1`, `c7552ish`), then as a `.bench` file path.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "stats" => commands::stats(rest),
+        "analyze" => commands::analyze(rest),
+        "optimize" => commands::optimize(rest),
+        "simulate" => commands::simulate(rest),
+        "atpg" => commands::atpg(rest),
+        "workloads" => commands::workloads(),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Optimized input probabilities for random tests.
+//!
+//! This crate is the reproduction of the paper's contribution
+//! (H.-J. Wunderlich, *On Computing Optimized Input Probabilities for
+//! Random Tests*, DAC 1987): given a combinational circuit, a stuck-at
+//! fault list and a detection-probability engine, compute one probability
+//! `x_i` per primary input such that weighted random patterns drawn with
+//! those probabilities need a dramatically shorter test than equiprobable
+//! patterns.
+//!
+//! The machinery follows the paper §2–§4:
+//!
+//! * the objective `J_N(X) = Σ_f exp(−N · p_f(X))` ([`objective_value`],
+//!   formula 9/10) and its relation to the test confidence
+//!   ([`confidence`], formula 1/8);
+//! * `NORMALIZE` ([`required_test_length`]): the minimal `N` reaching a
+//!   confidence target, plus the subset of *relevant* (hardest) faults
+//!   that contribute numerically — observation (1) of §4;
+//! * `PREPARE`/`MINIMIZE` ([`minimize_coordinate`]): `p_f` is affine in
+//!   each single `x_i` (Lemma 1/3), so two engine calls per input yield a
+//!   strictly convex 1-D problem solved by safeguarded Newton iteration
+//!   (formula 15);
+//! * `OPTIMIZE` ([`optimize`]): coordinate descent over all inputs until
+//!   the test length stops improving;
+//! * weight quantization to a hardware grid ([`quantize_weights`],
+//!   appendix) and the fault-set partitioning extension sketched in §5.3
+//!   ([`optimize_partitioned`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wrt_core::{optimize, OptimizeConfig};
+//! use wrt_estimate::CopEngine;
+//! use wrt_fault::FaultList;
+//!
+//! # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+//! // A 6-input AND is mildly random-pattern resistant (p = 2^-6).
+//! let c = wrt_circuit::parse_bench(
+//!     "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n\
+//!      OUTPUT(y)\ny = AND(a, b, c, d, e, f)\n",
+//! )?;
+//! let faults = FaultList::checkpoints(&c);
+//! let mut engine = CopEngine::new();
+//! let result = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+//! assert!(result.final_length < result.initial_length);
+//! # Ok(())
+//! # }
+//! ```
+
+mod minimize;
+mod objective;
+mod optimize;
+mod partition;
+mod quantize;
+mod test_length;
+
+pub use minimize::{minimize_coordinate, CoordinateProblem};
+pub use objective::{confidence, log_confidence, objective_value};
+pub use optimize::{optimize, OptimizeConfig, OptimizeResult, SweepRecord};
+pub use partition::{optimize_partitioned, PartitionedResult, WeightSet};
+pub use quantize::quantize_weights;
+pub use test_length::{required_test_length, sort_by_difficulty, TestLength};

@@ -1,0 +1,458 @@
+//! `OPTIMIZE`: coordinate descent over all input probabilities (paper §4).
+
+use wrt_circuit::Circuit;
+use wrt_estimate::DetectionProbabilityEngine;
+use wrt_fault::{Fault, FaultId, FaultList};
+
+use crate::minimize::{minimize_coordinate, CoordinateProblem};
+use crate::test_length::{required_test_length, sort_by_difficulty, TestLength};
+
+/// Tuning knobs of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizeConfig {
+    /// Confidence target for the random test (the paper's `a`); the
+    /// objective threshold is `θ = −ln(confidence)`.
+    pub confidence: f64,
+    /// Stop when a sweep improves the test length by less than this
+    /// relative fraction (the paper's user-defined `α`).
+    pub min_improvement: f64,
+    /// Hard cap on coordinate-descent sweeps.
+    pub max_sweeps: usize,
+    /// Number of consecutive non-improving sweeps tolerated before giving
+    /// up.  Early sweeps on many-input circuits can zigzag (each
+    /// coordinate reacts to a still-unsettled rest of the vector) before
+    /// the descent locks in; the best vector seen is kept regardless.
+    pub patience: usize,
+    /// Weights are kept inside `[lo, hi]` (strictly inside `(0, 1)` so no
+    /// primary-input fault becomes undetectable, cf. Lemma 2).
+    pub weight_bounds: (f64, f64),
+    /// Starting weights; `None` = equiprobable 0.5.
+    pub starting_weights: Option<Vec<f64>>,
+    /// Extra faults carried beyond the `NORMALIZE` relevant set, as slack
+    /// against the paper's caveat that "the order of the detection
+    /// probabilities may change during optimization".
+    pub relevant_slack: usize,
+    /// Under-relaxation factor in `(0, 1]`: each coordinate moves this
+    /// fraction of the way from its current value to its 1-D optimum.
+    /// `1.0` is the paper's plain update; smaller values damp the zigzag
+    /// coordinate descent exhibits on wide comparator structures (every
+    /// `x_i`'s optimum depends strongly on all the others).
+    pub damping: f64,
+    /// Deterministic symmetry-breaking perturbation applied to the default
+    /// 0.5 starting vector (ignored when `starting_weights` is given).
+    ///
+    /// Comparator-style circuits are perfectly symmetric in `x ↔ 1 − x`,
+    /// which makes the equiprobable point a stationary point of every
+    /// 1-D subproblem: coordinate descent started at exactly 0.5 never
+    /// moves.  A small per-input offset (sign chosen by hashing the input
+    /// index) breaks the tie; the descent then amplifies it toward a
+    /// proper relative optimum, cf. the strongly asymmetric weights in
+    /// the paper's appendix.
+    pub jitter: f64,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            confidence: 0.999,
+            min_improvement: 0.01,
+            max_sweeps: 48,
+            weight_bounds: (0.02, 0.98),
+            starting_weights: None,
+            relevant_slack: 16,
+            jitter: 0.05,
+            patience: 6,
+            damping: 0.5,
+        }
+    }
+}
+
+impl OptimizeConfig {
+    /// `θ = −ln(confidence)`.
+    pub fn theta(&self) -> f64 {
+        -self.confidence.ln()
+    }
+}
+
+/// One record per completed sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRecord {
+    /// Test length after the sweep.
+    pub test_length: f64,
+    /// Relevant-fault count used during the sweep.
+    pub num_relevant: usize,
+}
+
+/// The outcome of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// One probability per primary input.
+    pub weights: Vec<f64>,
+    /// Required test length at the starting weights.
+    pub initial_length: f64,
+    /// Required test length at the optimized weights.
+    pub final_length: f64,
+    /// Per-sweep history.
+    pub sweeps: Vec<SweepRecord>,
+    /// Faults excluded because their detection probability was 0 at the
+    /// starting distribution (redundancy candidates, cf. the paper's
+    /// PROTEST redundancy proofs).
+    pub excluded: Vec<FaultId>,
+    /// Number of engine invocations performed.
+    pub engine_calls: usize,
+}
+
+impl OptimizeResult {
+    /// `initial_length / final_length` (> 1 when optimization helped).
+    pub fn improvement_factor(&self) -> f64 {
+        self.initial_length / self.final_length
+    }
+}
+
+/// Computes optimized input probabilities (the paper's `OPTIMIZE`).
+///
+/// Structure, following §4:
+///
+/// ```text
+/// X := starting vector; ANALYSIS; SORT; NORMALIZE(N, nf);
+/// while the sweep improves N by more than α:
+///     for every primary input i:
+///         PREPARE  (engine at X,0|i and X,1|i — relevant faults only)
+///         MINIMIZE (Newton on the 1-D convex objective)
+///         x_i := y
+///     ANALYSIS; SORT; NORMALIZE(N, nf)
+/// ```
+///
+/// The best weight vector seen (by test length) is returned, so a sweep
+/// that overshoots on estimated probabilities cannot make the result
+/// worse than its predecessor.
+///
+/// # Panics
+///
+/// Panics if `config.starting_weights` is given with the wrong length, or
+/// if the confidence is not in `(0, 1)`.
+pub fn optimize(
+    circuit: &Circuit,
+    faults: &FaultList,
+    engine: &mut dyn DetectionProbabilityEngine,
+    config: &OptimizeConfig,
+) -> OptimizeResult {
+    assert!(
+        config.confidence > 0.0 && config.confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let theta = config.theta();
+    let num_inputs = circuit.num_inputs();
+    let mut weights = match &config.starting_weights {
+        Some(w) => {
+            assert_eq!(w.len(), num_inputs, "one starting weight per input");
+            w.clone()
+        }
+        None => (0..num_inputs)
+            .map(|i| 0.5 + config.jitter * jitter_sign(i))
+            .collect(),
+    };
+    let (lo, hi) = config.weight_bounds;
+    let mut engine_calls = 0usize;
+
+    // Initial ANALYSIS: identify undetectable faults and the baseline N.
+    let initial_probs = engine.estimate(circuit, faults, &weights);
+    engine_calls += 1;
+    let mut excluded = Vec::new();
+    let mut live: Vec<(FaultId, Fault)> = Vec::new();
+    for ((id, fault), &p) in faults.iter().zip(&initial_probs) {
+        if p <= 0.0 {
+            excluded.push(id);
+        } else {
+            live.push((id, fault));
+        }
+    }
+    let live_list: FaultList = live.iter().map(|&(_, f)| f).collect();
+    let mut dprobs: Vec<f64> = faults
+        .iter()
+        .zip(&initial_probs)
+        .filter(|((_, _), &p)| p > 0.0)
+        .map(|(_, &p)| p)
+        .collect();
+
+    let initial = required_test_length(&dprobs, theta);
+    let initial_length = initial.patterns();
+    let mut best_weights = weights.clone();
+    let mut best_length = initial_length;
+    let mut n_current = match initial {
+        TestLength::Patterns { n, .. } => n,
+        TestLength::Infinite => {
+            // Nothing the optimizer can do: every fault list member is
+            // undetectable under the interior starting point.
+            return OptimizeResult {
+                weights,
+                initial_length,
+                final_length: initial_length,
+                sweeps: Vec::new(),
+                excluded,
+                engine_calls,
+            };
+        }
+    };
+    let mut num_relevant = initial.num_relevant();
+    let mut sweeps = Vec::new();
+    let mut stale_sweeps = 0usize;
+
+    for _sweep in 0..config.max_sweeps {
+        // Relevant subset: hardest `nf + slack` faults at the current X.
+        let order = sort_by_difficulty(&dprobs);
+        let take = (num_relevant + config.relevant_slack).min(order.len());
+        let relevant_ids: Vec<usize> = order[..take].to_vec();
+        let relevant_list: FaultList = relevant_ids
+            .iter()
+            .map(|&k| live_list.fault(wrt_fault::FaultId::from_index(k)))
+            .collect();
+
+        for i in 0..num_inputs {
+            // PREPARE: engine at x_i = 0 and x_i = 1.
+            let saved = weights[i];
+            weights[i] = 0.0;
+            let p0 = engine.estimate(circuit, &relevant_list, &weights);
+            weights[i] = 1.0;
+            let p1 = engine.estimate(circuit, &relevant_list, &weights);
+            engine_calls += 2;
+            weights[i] = saved;
+            // MINIMIZE (with optional under-relaxation).
+            let problem = CoordinateProblem::new(p0, p1, n_current);
+            let optimum = minimize_coordinate(&problem, saved, lo, hi);
+            weights[i] = saved + config.damping.clamp(f64::MIN_POSITIVE, 1.0) * (optimum - saved);
+        }
+
+        // ANALYSIS + SORT + NORMALIZE at the new X.
+        //
+        // Faults in the live list are detectable at every interior X, so a
+        // zero estimate here is floating-point absorption (e.g. an OR
+        // chain's signal probability rounding to exactly 1.0 makes the
+        // s-a-1 activation exactly 0).  Clamp to a representable floor so
+        // the sweep records a huge-but-finite length and the descent can
+        // recover instead of aborting.
+        let probs = engine.estimate(circuit, &live_list, &weights);
+        engine_calls += 1;
+        dprobs = probs.into_iter().map(|p| p.max(1e-300)).collect();
+        let sweep_length = match required_test_length(&dprobs, theta) {
+            TestLength::Patterns { n, num_relevant: nf } => {
+                n_current = n;
+                num_relevant = nf;
+                n
+            }
+            // Beyond NORMALIZE's search range (> 10^18 patterns): a wild
+            // overshoot sweep.  Keep the previous N for MINIMIZE and let
+            // the patience counter decide.
+            TestLength::Infinite => f64::INFINITY,
+        };
+        sweeps.push(SweepRecord {
+            test_length: sweep_length,
+            num_relevant,
+        });
+        if sweep_length < best_length * (1.0 - config.min_improvement) {
+            stale_sweeps = 0;
+        } else {
+            stale_sweeps += 1;
+        }
+        if sweep_length < best_length {
+            best_length = sweep_length;
+            best_weights = weights.clone();
+        }
+        // Termination: too many sweeps without material improvement of
+        // the best test length (the paper's α criterion, with patience).
+        if stale_sweeps > config.patience {
+            break;
+        }
+    }
+
+    OptimizeResult {
+        weights: best_weights,
+        initial_length,
+        final_length: best_length,
+        sweeps,
+        excluded,
+        engine_calls,
+    }
+}
+
+/// Deterministic ±1 from a SplitMix64-style hash of the input index.
+fn jitter_sign(i: usize) -> f64 {
+    let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    if (z ^ (z >> 31)) & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_estimate::{CopEngine, ExactEngine};
+
+    fn wide_and(k: usize) -> Circuit {
+        let mut src = String::from("OUTPUT(y)\n");
+        let mut args = Vec::new();
+        for i in 0..k {
+            src.push_str(&format!("INPUT(x{i})\n"));
+            args.push(format!("x{i}"));
+        }
+        src.push_str(&format!("y = AND({})\n", args.join(", ")));
+        wrt_circuit::parse_bench(&src).unwrap()
+    }
+
+    #[test]
+    fn wide_and_drives_weights_up() {
+        let c = wide_and(10);
+        let faults = FaultList::checkpoints(&c);
+        let mut engine = CopEngine::new();
+        let result = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+        // The hardest fault (y s-a-0 class needs all-ones) wants x_i → 1,
+        // but each x_i s-a-1 needs x_i = 0 with the others 1, pulling back
+        // from the boundary: weights end high but interior.
+        for (i, &w) in result.weights.iter().enumerate() {
+            assert!(w > 0.6, "weight {i} = {w}");
+            assert!(w < 0.98 + 1e-9, "weight {i} = {w}");
+        }
+        assert!(
+            result.improvement_factor() > 10.0,
+            "improvement {}",
+            result.improvement_factor()
+        );
+    }
+
+    #[test]
+    fn optimized_length_never_worse_than_initial() {
+        let c = wide_and(6);
+        let faults = FaultList::full(&c);
+        let mut engine = CopEngine::new();
+        let result = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+        assert!(result.final_length <= result.initial_length);
+        assert!(!result.sweeps.is_empty());
+    }
+
+    #[test]
+    fn exact_engine_small_circuit() {
+        // 4-input AND with the exact engine: ground-truth optimization.
+        let c = wide_and(4);
+        let faults = FaultList::checkpoints(&c);
+        let mut engine = ExactEngine::new(8);
+        let result = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+        assert!(result.improvement_factor() > 1.2);
+    }
+
+    #[test]
+    fn undetectable_faults_are_excluded_not_fatal() {
+        // `dead` reaches no output: observability 0, so p = 0 for the COP
+        // engine and the optimizer must set those faults aside.
+        let c = wrt_circuit::parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ndead = XOR(a, b)\ny = AND(a, b)\n",
+        )
+        .unwrap();
+        let faults = FaultList::full(&c);
+        let mut engine = CopEngine::new();
+        let result = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+        assert!(!result.excluded.is_empty(), "dead-node faults have p = 0");
+        assert!(result.final_length.is_finite());
+    }
+
+    #[test]
+    fn starting_weights_are_respected() {
+        let c = wide_and(5);
+        let faults = FaultList::checkpoints(&c);
+        let mut engine = CopEngine::new();
+        let config = OptimizeConfig {
+            starting_weights: Some(vec![0.9; 5]),
+            max_sweeps: 0,
+            ..OptimizeConfig::default()
+        };
+        let result = optimize(&c, &faults, &mut engine, &config);
+        assert_eq!(result.weights, vec![0.9; 5]);
+        assert!((result.initial_length - result.final_length).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn bad_confidence_panics() {
+        let c = wide_and(2);
+        let faults = FaultList::checkpoints(&c);
+        let mut engine = CopEngine::new();
+        let config = OptimizeConfig {
+            confidence: 1.5,
+            ..OptimizeConfig::default()
+        };
+        let _ = optimize(&c, &faults, &mut engine, &config);
+    }
+
+    fn equality_circuit(width: usize) -> Circuit {
+        // AND of per-bit XNORs: perfectly symmetric under x ↔ 1-x.
+        let mut b = wrt_circuit::CircuitBuilder::named("eq");
+        let xs: Vec<_> = (0..width).map(|i| b.input(format!("A{i}"))).collect();
+        let ys: Vec<_> = (0..width).map(|i| b.input(format!("B{i}"))).collect();
+        let bits: Vec<_> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| b.gate_auto(wrt_circuit::GateKind::Xnor, &[x, y]).unwrap())
+            .collect();
+        let eq = b.gate(wrt_circuit::GateKind::And, "EQ", &bits).unwrap();
+        b.mark_output(eq);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn jitter_breaks_the_comparator_saddle() {
+        let c = equality_circuit(8);
+        let eq = c.node_id("EQ").unwrap();
+        let faults = FaultList::from_faults(vec![wrt_fault::Fault::output(eq, false)]);
+
+        // Without jitter: exactly 0.5 everywhere is a stationary point of
+        // every coordinate subproblem; nothing moves.
+        let frozen = OptimizeConfig {
+            jitter: 0.0,
+            ..OptimizeConfig::default()
+        };
+        let mut engine = CopEngine::new();
+        let stuck = optimize(&c, &faults, &mut engine, &frozen);
+        assert!(
+            stuck.improvement_factor() < 1.01,
+            "factor {}",
+            stuck.improvement_factor()
+        );
+
+        // Default jitter unlocks the cascade toward a corner: each bit
+        // pair aligns and P(EQ = 1) grows by orders of magnitude.
+        let moving = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+        assert!(
+            moving.improvement_factor() > 100.0,
+            "factor {}",
+            moving.improvement_factor()
+        );
+        // Pairs agreed on a common corner.
+        for i in 0..8 {
+            let a = moving.weights[i];
+            let b = moving.weights[8 + i];
+            assert!(
+                (a - 0.5) * (b - 0.5) > 0.0,
+                "pair {i} disagrees: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_call_budget_matches_structure() {
+        // engine calls = 1 initial + per sweep (2·inputs + 1).
+        let c = wide_and(3);
+        let faults = FaultList::checkpoints(&c);
+        let mut engine = CopEngine::new();
+        let config = OptimizeConfig {
+            max_sweeps: 2,
+            min_improvement: 0.0, // always continue to the cap
+            ..OptimizeConfig::default()
+        };
+        let result = optimize(&c, &faults, &mut engine, &config);
+        let sweeps = result.sweeps.len();
+        assert_eq!(result.engine_calls, 1 + sweeps * (2 * 3 + 1));
+    }
+}

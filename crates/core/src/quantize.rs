@@ -1,0 +1,67 @@
+//! Weight quantization to a hardware-realizable grid.
+//!
+//! The paper's appendix lists the optimized probabilities of S1 and C7552
+//! on a 0.05 grid (0.05, 0.1, …, 0.95): weighted-LFSR hardware realizes
+//! only a small set of weights, so the continuous optimizer output is
+//! snapped before use.  `wrt-bist` realizes the quantized weights with
+//! AND/OR trees of LFSR taps.
+
+/// Snaps each weight to the nearest multiple of `grid`, clamped to
+/// `[grid, 1 − grid]` so no input becomes constant.
+///
+/// # Panics
+///
+/// Panics if `grid` is not in `(0, 0.5)`.
+///
+/// # Example
+///
+/// ```
+/// let q = wrt_core::quantize_weights(&[0.5, 0.634, 0.012, 0.987], 0.05);
+/// assert_eq!(q, vec![0.5, 0.65, 0.05, 0.95]);
+/// ```
+pub fn quantize_weights(weights: &[f64], grid: f64) -> Vec<f64> {
+    assert!(grid > 0.0 && grid < 0.5, "grid must be in (0, 0.5)");
+    let steps = (1.0 / grid).round();
+    weights
+        .iter()
+        .map(|&w| (w * steps).round().clamp(1.0, steps - 1.0) / steps)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snaps_to_grid() {
+        let q = quantize_weights(&[0.47, 0.52, 0.76], 0.05);
+        assert_eq!(q, vec![0.45, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn clamps_extremes_inside_open_cube() {
+        let q = quantize_weights(&[0.0, 1.0], 0.05);
+        assert_eq!(q, vec![0.05, 0.95]);
+    }
+
+    #[test]
+    fn exact_grid_points_are_fixed() {
+        let points: Vec<f64> = (1..20).map(|k| k as f64 * 0.05).collect();
+        let q = quantize_weights(&points, 0.05);
+        for (orig, snapped) in points.iter().zip(&q) {
+            assert!((orig - snapped).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarser_grid() {
+        let q = quantize_weights(&[0.3, 0.6], 0.25);
+        assert_eq!(q, vec![0.25, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be in (0, 0.5)")]
+    fn rejects_bad_grid() {
+        let _ = quantize_weights(&[0.5], 0.7);
+    }
+}

@@ -1,0 +1,210 @@
+//! `SORT` and `NORMALIZE`: the necessary test length and the relevant
+//! fault subset (paper §4).
+
+use crate::objective::objective_value;
+
+/// Result of `NORMALIZE`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TestLength {
+    /// The minimal pattern count `N` reaching the confidence target,
+    /// together with `nf`, the number of *relevant* hardest faults that
+    /// contribute numerically to `J_N` (observation (1) of §4).
+    Patterns {
+        /// Minimal number of random patterns.
+        n: f64,
+        /// Number of relevant (hardest) faults.
+        num_relevant: usize,
+    },
+    /// No finite test length exists: some fault has detection
+    /// probability 0 under the given distribution.
+    Infinite,
+}
+
+impl TestLength {
+    /// The pattern count, or `f64::INFINITY`.
+    pub fn patterns(&self) -> f64 {
+        match *self {
+            TestLength::Patterns { n, .. } => n,
+            TestLength::Infinite => f64::INFINITY,
+        }
+    }
+
+    /// The relevant-fault count (0 for infinite lengths).
+    pub fn num_relevant(&self) -> usize {
+        match *self {
+            TestLength::Patterns { num_relevant, .. } => num_relevant,
+            TestLength::Infinite => 0,
+        }
+    }
+}
+
+/// `SORT(F)`: indices of `dprobs` ordered by increasing detection
+/// probability (hardest first), ties broken by index for determinism.
+pub fn sort_by_difficulty(dprobs: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..dprobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        dprobs[a]
+            .partial_cmp(&dprobs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// `NORMALIZE`: the minimal `N` with `J_N(X) ≤ θ`, where
+/// `θ = −ln(confidence target)`.
+///
+/// Uses exponential search followed by bisection on the monotone
+/// `J_N`; the relevant-fault count is the number of faults whose
+/// individual term still matters at the resulting `N` (the paper's
+/// observation that `exp(−10·N·p_g)` drowns next to `exp(−N·p_g)`).
+///
+/// # Panics
+///
+/// Panics if `theta` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use wrt_core::required_test_length;
+/// // One fault with p = 0.01, 99.9% confidence:
+/// let tl = required_test_length(&[0.01], 1e-3);
+/// // N ≈ ln(1/θ)/p ≈ 691.
+/// assert!((tl.patterns() - 691.0).abs() < 5.0);
+/// ```
+pub fn required_test_length(dprobs: &[f64], theta: f64) -> TestLength {
+    assert!(theta > 0.0, "confidence threshold must be positive");
+    if dprobs.is_empty() {
+        return TestLength::Patterns {
+            n: 0.0,
+            num_relevant: 0,
+        };
+    }
+    if dprobs.iter().any(|&p| p <= 0.0) {
+        return TestLength::Infinite;
+    }
+    if objective_value(dprobs, 0.0) <= theta {
+        // |F| ≤ θ already at N = 0 (degenerate thresholds).
+        return TestLength::Patterns {
+            n: 0.0,
+            num_relevant: 0,
+        };
+    }
+
+    // Exponential search for an upper bound.
+    let mut hi = 1.0f64;
+    while objective_value(dprobs, hi) > theta {
+        hi *= 2.0;
+        if hi > 1e18 {
+            // Numerically indistinguishable from undetectable.
+            return TestLength::Infinite;
+        }
+    }
+    let mut lo = hi / 2.0;
+    // Bisection to (relative) precision; N is conceptually an integer but
+    // at 10^11 scales a relative tolerance is the honest answer.
+    for _ in 0..200 {
+        if hi - lo <= 1.0 || (hi - lo) / hi < 1e-12 {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if objective_value(dprobs, mid) > theta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let n = hi.ceil();
+
+    // Relevant faults: individual contribution at N still above a drowned
+    // threshold relative to θ.
+    let cutoff = n * hardest(dprobs) + (1e6f64).ln();
+    let num_relevant = dprobs.iter().filter(|&&p| n * p <= cutoff).count();
+    TestLength::Patterns {
+        n,
+        num_relevant: num_relevant.max(1),
+    }
+}
+
+fn hardest(dprobs: &[f64]) -> f64 {
+    dprobs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fault_closed_form() {
+        // J_N = exp(-N p) = θ  =>  N = ln(1/θ)/p.
+        for (p, theta) in [(0.01, 1e-3), (1e-6, 1e-3), (0.5, 0.05)] {
+            let tl = required_test_length(&[p], theta);
+            let expect = (1.0 / theta).ln() / p;
+            let got = tl.patterns();
+            assert!(
+                (got - expect).abs() <= expect * 1e-6 + 2.0,
+                "p={p}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hardest_fault_dominates() {
+        // Adding easy faults barely changes N.
+        let hard_only = required_test_length(&[1e-5], 1e-3).patterns();
+        let with_easy =
+            required_test_length(&[1e-5, 0.3, 0.4, 0.25, 0.5], 1e-3).patterns();
+        assert!((with_easy - hard_only).abs() / hard_only < 0.01);
+    }
+
+    #[test]
+    fn ten_to_one_probability_ratio_drowns() {
+        // The paper's example: p_f = 10 p_g makes f irrelevant.
+        let tl = required_test_length(&[1e-6, 1e-5], 1e-3);
+        assert_eq!(tl.num_relevant(), 1);
+    }
+
+    #[test]
+    fn close_probabilities_are_all_relevant() {
+        let tl = required_test_length(&[1e-6, 1.5e-6, 2e-6], 1e-3);
+        assert_eq!(tl.num_relevant(), 3);
+    }
+
+    #[test]
+    fn undetectable_fault_gives_infinite() {
+        let tl = required_test_length(&[0.0, 0.5], 1e-3);
+        assert_eq!(tl, TestLength::Infinite);
+        assert_eq!(tl.patterns(), f64::INFINITY);
+    }
+
+    #[test]
+    fn objective_at_result_meets_threshold() {
+        let dprobs = [1e-4, 3e-4, 0.2, 0.01];
+        let theta = 1e-3;
+        let tl = required_test_length(&dprobs, theta);
+        let n = tl.patterns();
+        assert!(objective_value(&dprobs, n) <= theta);
+        assert!(objective_value(&dprobs, n * 0.99 - 2.0) > theta);
+    }
+
+    #[test]
+    fn sorting_is_deterministic_and_ascending() {
+        let dprobs = [0.5, 1e-6, 0.25, 1e-6];
+        let order = sort_by_difficulty(&dprobs);
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn empty_list_needs_no_patterns() {
+        let tl = required_test_length(&[], 1e-3);
+        assert_eq!(tl.patterns(), 0.0);
+    }
+
+    #[test]
+    fn paper_scale_lengths_are_representable() {
+        // 2^-32 at 99.9 % needs ~3·10^10 patterns; must not saturate.
+        let tl = required_test_length(&[2.0f64.powi(-32)], 1e-3);
+        let n = tl.patterns();
+        assert!(n > 1e10 && n < 1e12, "N = {n}");
+    }
+}

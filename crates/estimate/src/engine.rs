@@ -1,0 +1,316 @@
+//! The engine abstraction consumed by the optimizer's ANALYSIS step.
+
+use wrt_circuit::Circuit;
+use wrt_fault::{FaultList, FaultSite};
+use wrt_sim::{detection_counts, WeightedPatterns};
+
+use crate::cop::{observabilities_cop, signal_probabilities_cop};
+use crate::exact::exact_detection_probability;
+use crate::stafan::StafanCounts;
+
+/// A tool "computing or estimating fault detection probabilities
+/// efficiently" (paper §1) — the role PROTEST plays in the original.
+///
+/// Implementations return one estimate of `p_f(X)` per fault for the given
+/// input probabilities `X`.  The optimizer in `wrt-core` is generic over
+/// this trait, mirroring the paper's remark that "with slight modifications
+/// PREDICT or STAFAN will presumably work as well".
+pub trait DetectionProbabilityEngine {
+    /// Estimates the detection probability of every fault in `faults`
+    /// under independent input probabilities `input_probs`.
+    ///
+    /// Estimates lie in `[0, 1]`; 0 means "not detectable as far as this
+    /// engine can tell" (for analytic engines: a redundancy *candidate*,
+    /// see [`crate::constant_line_faults`] for proofs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_probs.len() != circuit.num_inputs()`.
+    fn estimate(&mut self, circuit: &Circuit, faults: &FaultList, input_probs: &[f64])
+        -> Vec<f64>;
+
+    /// Short human-readable engine name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Analytic COP-style engine: detection probability ≈ activation
+/// probability × observability, both from one forward and one backward
+/// propagation pass.
+///
+/// The default ANALYSIS engine: its cost is two linear passes regardless
+/// of `X`, and it resolves arbitrarily small probabilities (a 32-input AND
+/// gives exactly `2^-32`), which no sampling engine can.  Reconvergent
+/// fanout introduces estimation error (it is a heuristic, like PROTEST's
+/// own estimator).
+#[derive(Debug, Clone, Default)]
+pub struct CopEngine {
+    _private: (),
+}
+
+impl CopEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        CopEngine::default()
+    }
+}
+
+impl DetectionProbabilityEngine for CopEngine {
+    fn estimate(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        input_probs: &[f64],
+    ) -> Vec<f64> {
+        let p = signal_probabilities_cop(circuit, input_probs);
+        let (obs, pin_obs) = observabilities_cop(circuit, &p);
+        faults
+            .iter()
+            .map(|(_, fault)| {
+                let (act, o) = match fault.site {
+                    FaultSite::Output(node) => {
+                        let c1 = p[node.index()];
+                        let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
+                        (act, obs[node.index()])
+                    }
+                    FaultSite::InputPin { gate, pin } => {
+                        let driver = circuit.node(gate).fanin()[pin];
+                        let c1 = p[driver.index()];
+                        let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
+                        (act, pin_obs[gate.index()][pin])
+                    }
+                };
+                (act * o).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "cop"
+    }
+}
+
+/// STAFAN-style engine: counts controllabilities and one-level
+/// sensitization rates on a fault-free bit-parallel sample, then combines
+/// them analytically.
+#[derive(Debug, Clone)]
+pub struct StafanEngine {
+    /// Number of fault-free patterns to count over.
+    pub patterns: u64,
+    /// Base RNG seed (each call derives a fresh stream).
+    pub seed: u64,
+    calls: u64,
+}
+
+impl StafanEngine {
+    /// Creates an engine counting over `patterns` patterns per call.
+    pub fn new(patterns: u64, seed: u64) -> Self {
+        StafanEngine {
+            patterns,
+            seed,
+            calls: 0,
+        }
+    }
+}
+
+impl DetectionProbabilityEngine for StafanEngine {
+    fn estimate(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        input_probs: &[f64],
+    ) -> Vec<f64> {
+        self.calls += 1;
+        let mut source = WeightedPatterns::new(
+            input_probs.to_vec(),
+            self.seed.wrapping_add(self.calls.wrapping_mul(0x9E37_79B9)),
+        );
+        let counts = StafanCounts::count(circuit, &mut source, self.patterns);
+        counts.detection_probabilities(circuit, faults)
+    }
+
+    fn name(&self) -> &'static str {
+        "stafan"
+    }
+}
+
+/// Direct Monte-Carlo engine: full PPSFP fault simulation of a weighted
+/// sample; the estimate is the observed detection frequency.
+///
+/// Unbiased but blind to probabilities below `≈ 1 / patterns`.
+#[derive(Debug, Clone)]
+pub struct MonteCarloEngine {
+    /// Number of simulated patterns per call.
+    pub patterns: u64,
+    /// Base RNG seed (each call derives a fresh stream).
+    pub seed: u64,
+    calls: u64,
+}
+
+impl MonteCarloEngine {
+    /// Creates an engine simulating `patterns` patterns per call.
+    pub fn new(patterns: u64, seed: u64) -> Self {
+        MonteCarloEngine {
+            patterns,
+            seed,
+            calls: 0,
+        }
+    }
+}
+
+impl DetectionProbabilityEngine for MonteCarloEngine {
+    fn estimate(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        input_probs: &[f64],
+    ) -> Vec<f64> {
+        self.calls += 1;
+        let source = WeightedPatterns::new(
+            input_probs.to_vec(),
+            self.seed.wrapping_add(self.calls.wrapping_mul(0x2545_F491)),
+        );
+        let counts = detection_counts(circuit, faults, source, self.patterns);
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.patterns as f64)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+}
+
+/// Exact engine: weighted exhaustive enumeration of the whole input space.
+///
+/// Ground truth for validation; cost `O(2^inputs · gates · faults)`.
+#[derive(Debug, Clone)]
+pub struct ExactEngine {
+    /// Refuses circuits with more primary inputs than this.
+    pub max_inputs: usize,
+}
+
+impl ExactEngine {
+    /// Creates an exact engine with the given input budget.
+    pub fn new(max_inputs: usize) -> Self {
+        ExactEngine { max_inputs }
+    }
+}
+
+impl DetectionProbabilityEngine for ExactEngine {
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than `max_inputs` primary inputs.
+    fn estimate(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        input_probs: &[f64],
+    ) -> Vec<f64> {
+        faults
+            .iter()
+            .map(|(_, fault)| {
+                exact_detection_probability(circuit, fault, input_probs, self.max_inputs)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "circuit `{}` exceeds the exact engine's input budget of {}",
+                            circuit.name(),
+                            self.max_inputs
+                        )
+                    })
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_circuit::parse_bench;
+    use wrt_fault::FaultList;
+
+    fn tree() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(d)\nOUTPUT(y)\nm = NAND(a, b)\ny = OR(m, d)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cop_is_exact_on_trees() {
+        let c = tree();
+        let faults = FaultList::full(&c);
+        let probs = [0.3, 0.6, 0.2];
+        let cop = CopEngine::new().estimate(&c, &faults, &probs);
+        for (i, (_, fault)) in faults.iter().enumerate() {
+            let exact = exact_detection_probability(&c, fault, &probs, 10).unwrap();
+            assert!(
+                (cop[i] - exact).abs() < 1e-9,
+                "{}: cop {} vs exact {}",
+                fault.describe(&c),
+                cop[i],
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        let c = tree();
+        let faults = FaultList::full(&c);
+        let probs = [0.5, 0.5, 0.5];
+        let mc = MonteCarloEngine::new(64 * 400, 5).estimate(&c, &faults, &probs);
+        for (i, (_, fault)) in faults.iter().enumerate() {
+            let exact = exact_detection_probability(&c, fault, &probs, 10).unwrap();
+            assert!(
+                (mc[i] - exact).abs() < 0.05,
+                "{}: mc {} vs exact {}",
+                fault.describe(&c),
+                mc[i],
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn engines_are_object_safe_and_named() {
+        let mut engines: Vec<Box<dyn DetectionProbabilityEngine>> = vec![
+            Box::new(CopEngine::new()),
+            Box::new(StafanEngine::new(64, 1)),
+            Box::new(MonteCarloEngine::new(64, 1)),
+            Box::new(ExactEngine::new(10)),
+        ];
+        let c = tree();
+        let faults = FaultList::primary_inputs(&c);
+        for e in engines.iter_mut() {
+            let est = e.estimate(&c, &faults, &[0.5, 0.5, 0.5]);
+            assert_eq!(est.len(), faults.len());
+            assert!(est.iter().all(|p| (0.0..=1.0).contains(p)), "{}", e.name());
+            assert!(!e.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn cop_resolves_tiny_probabilities() {
+        // 24-input AND: p(output s-a-0) = 2^-24 exactly under 0.5 weights.
+        let mut src = String::from("OUTPUT(y)\n");
+        let mut args = Vec::new();
+        for i in 0..24 {
+            src.push_str(&format!("INPUT(x{i})\n"));
+            args.push(format!("x{i}"));
+        }
+        src.push_str(&format!("y = AND({})\n", args.join(", ")));
+        let c = parse_bench(&src).unwrap();
+        let y = c.node_id("y").unwrap();
+        let faults = FaultList::from_faults(vec![wrt_fault::Fault::output(y, false)]);
+        let est = CopEngine::new().estimate(&c, &faults, &[0.5; 24]);
+        assert!((est[0] - 0.5f64.powi(24)).abs() < 1e-12);
+        // Monte Carlo with 1k patterns sees nothing.
+        let mc = MonteCarloEngine::new(1024, 3).estimate(&c, &faults, &[0.5; 24]);
+        assert_eq!(mc[0], 0.0);
+    }
+}

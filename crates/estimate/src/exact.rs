@@ -1,0 +1,208 @@
+//! Exact probabilities by weighted exhaustive enumeration.
+//!
+//! Ground truth for small circuits and cones: enumerate every assignment
+//! of the relevant primary inputs, weight it by `Π x_i` / `Π (1 − x_i)`,
+//! and accumulate.  Exponential, of course — the Parker/McCluskey exact
+//! problem is NP-hard \[McPa75\] — so both functions take an explicit input
+//! budget and refuse larger instances.
+
+use wrt_circuit::{input_support, Circuit, GateKind, NodeId};
+use wrt_fault::{Fault, FaultSite};
+
+/// Exact probability that `node` is 1 under independent input
+/// probabilities `input_probs`, or `None` if the node's input support
+/// exceeds `max_support` inputs.
+///
+/// # Panics
+///
+/// Panics if `input_probs.len() != circuit.num_inputs()`.
+pub fn exact_signal_probability(
+    circuit: &Circuit,
+    node: NodeId,
+    input_probs: &[f64],
+    max_support: usize,
+) -> Option<f64> {
+    assert_eq!(input_probs.len(), circuit.num_inputs());
+    let support = input_support(circuit, node);
+    if support.len() > max_support || support.len() >= 63 {
+        return None;
+    }
+    let cone = wrt_circuit::transitive_fanin(circuit, &[node]);
+    let mut values = vec![false; circuit.num_nodes()];
+    let mut buf = Vec::new();
+    let mut total = 0.0f64;
+    for mask in 0..(1u64 << support.len()) {
+        let mut weight = 1.0f64;
+        for (k, &pi) in support.iter().enumerate() {
+            let bit = (mask >> k) & 1 == 1;
+            values[pi.index()] = bit;
+            let x = input_probs[circuit.input_position(pi).expect("pi")];
+            weight *= if bit { x } else { 1.0 - x };
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        for &n in &cone {
+            let gate = circuit.node(n);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            buf.clear();
+            buf.extend(gate.fanin().iter().map(|f| values[f.index()]));
+            values[n.index()] = gate.kind().eval(&buf);
+        }
+        if values[node.index()] {
+            total += weight;
+        }
+    }
+    Some(total)
+}
+
+/// Exact detection probability of `fault` under independent input
+/// probabilities, or `None` if the circuit has more than `max_inputs`
+/// primary inputs.
+///
+/// Enumerates the full input space (detection involves propagation to the
+/// primary outputs, so the relevant support is the whole circuit in
+/// general).
+///
+/// # Panics
+///
+/// Panics if `input_probs.len() != circuit.num_inputs()`.
+pub fn exact_detection_probability(
+    circuit: &Circuit,
+    fault: Fault,
+    input_probs: &[f64],
+    max_inputs: usize,
+) -> Option<f64> {
+    assert_eq!(input_probs.len(), circuit.num_inputs());
+    let n = circuit.num_inputs();
+    if n > max_inputs || n >= 63 {
+        return None;
+    }
+    let mut total = 0.0f64;
+    let mut assignment = vec![false; n];
+    for mask in 0..(1u64 << n) {
+        let mut weight = 1.0f64;
+        for (k, slot) in assignment.iter_mut().enumerate() {
+            let bit = (mask >> k) & 1 == 1;
+            *slot = bit;
+            weight *= if bit {
+                input_probs[k]
+            } else {
+                1.0 - input_probs[k]
+            };
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        if detects(circuit, fault, &assignment) {
+            total += weight;
+        }
+    }
+    Some(total)
+}
+
+/// Scalar check: does `assignment` detect `fault`?
+pub(crate) fn detects(circuit: &Circuit, fault: Fault, assignment: &[bool]) -> bool {
+    let mut good = vec![false; circuit.num_nodes()];
+    let mut bad = vec![false; circuit.num_nodes()];
+    let mut buf = Vec::new();
+    for (id, node) in circuit.iter() {
+        let g = match node.kind() {
+            GateKind::Input => assignment[circuit.input_position(id).expect("pi")],
+            kind => {
+                buf.clear();
+                buf.extend(node.fanin().iter().map(|f| good[f.index()]));
+                kind.eval(&buf)
+            }
+        };
+        good[id.index()] = g;
+        let mut v = match node.kind() {
+            GateKind::Input => assignment[circuit.input_position(id).expect("pi")],
+            kind => {
+                buf.clear();
+                for (pin, f) in node.fanin().iter().enumerate() {
+                    let mut fv = bad[f.index()];
+                    if let FaultSite::InputPin { gate, pin: fp } = fault.site {
+                        if gate == id && fp == pin {
+                            fv = fault.stuck_value;
+                        }
+                    }
+                    buf.push(fv);
+                }
+                kind.eval(&buf)
+            }
+        };
+        if fault.site == FaultSite::Output(id) {
+            v = fault.stuck_value;
+        }
+        bad[id.index()] = v;
+    }
+    circuit
+        .outputs()
+        .iter()
+        .any(|&o| good[o.index()] != bad[o.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_circuit::parse_bench;
+
+    #[test]
+    fn signal_probability_of_reconvergent_gate_is_exact() {
+        // y = AND(a, NOT a) == 0: COP would say 0.25, exact says 0.
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = AND(a, n)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let p = exact_signal_probability(&c, y, &[0.5], 10).unwrap();
+        assert_eq!(p, 0.0);
+        let cop = crate::signal_probabilities_cop(&c, &[0.5]);
+        assert_eq!(cop[y.index()], 0.25); // the known COP error
+    }
+
+    #[test]
+    fn weighted_signal_probability() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let p = exact_signal_probability(&c, y, &[0.1, 0.3], 10).unwrap();
+        assert!((p - (1.0 - 0.9 * 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_budget_respected() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        assert!(exact_signal_probability(&c, y, &[0.5, 0.5], 1).is_none());
+    }
+
+    #[test]
+    fn detection_probability_of_and_faults() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let a = c.node_id("a").unwrap();
+        // y s-a-0 detected by (1,1): p = x_a * x_b.
+        let p = exact_detection_probability(&c, Fault::output(y, false), &[0.5, 0.5], 10).unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+        // a s-a-1 detected by (0,1): p = (1-x_a) x_b.
+        let p = exact_detection_probability(&c, Fault::output(a, true), &[0.2, 0.7], 10).unwrap();
+        assert!((p - 0.8 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundant_fault_has_zero_probability() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let p = exact_detection_probability(&c, Fault::output(y, true), &[0.5], 10).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn extreme_weights_zero_out_assignments() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        // x_a = 1: only assignments with a=1 have weight.
+        let p = exact_detection_probability(&c, Fault::output(y, false), &[1.0, 0.5], 10).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Redundancy identification via exact constant-line proofs.
+//!
+//! The paper (§1, remark under Table 2): "an estimation with the exact
+//! value 0 or 1 of a signal probability by PROTEST is a proof (not an
+//! estimation!) of redundancy".  A line whose exact signal probability is
+//! 0 under an interior input distribution (`0 < x_i < 1`) is *always* 0,
+//! so its stuck-at-0 fault can never be excited and is redundant — and
+//! symmetrically for probability 1 / stuck-at-1.
+//!
+//! This module implements that proof for every fault whose line has a
+//! small enough input support to enumerate exactly.  It is sound but
+//! incomplete: "not in all cases a fixed signal value can be detected this
+//! way, and therefore there may be redundancies left" (ibid.).
+
+use wrt_circuit::{Circuit, GateKind};
+use wrt_fault::{FaultList, FaultSite};
+
+use crate::exact::exact_signal_probability;
+
+/// Marks faults proven redundant because their line is constant.
+///
+/// Returns one flag per fault (`true` = proven redundant).  Lines whose
+/// input support exceeds `max_support` are left unproven (`false`).
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations.
+pub fn constant_line_faults(
+    circuit: &Circuit,
+    faults: &FaultList,
+    max_support: usize,
+) -> Vec<bool> {
+    // Interior distribution: any 0 < x < 1 works; 0.5 gives the best
+    // numerical head-room.
+    let probs = vec![0.5f64; circuit.num_inputs()];
+    // Cache per-driver results: many faults share a line.
+    let mut cache: Vec<Option<Option<f64>>> = vec![None; circuit.num_nodes()];
+    faults
+        .iter()
+        .map(|(_, fault)| {
+            let driver = match fault.site {
+                FaultSite::Output(n) => n,
+                FaultSite::InputPin { gate, pin } => circuit.node(gate).fanin()[pin],
+            };
+            // Constants are trivially constant.
+            match circuit.node(driver).kind() {
+                GateKind::Const0 => return !fault.stuck_value,
+                GateKind::Const1 => return fault.stuck_value,
+                _ => {}
+            }
+            let entry = cache[driver.index()].get_or_insert_with(|| {
+                exact_signal_probability(circuit, driver, &probs, max_support)
+            });
+            match *entry {
+                Some(p) if p == 0.0 => !fault.stuck_value, // line always 0: s-a-0 redundant
+                Some(p) if p == 1.0 => fault.stuck_value,  // line always 1: s-a-1 redundant
+                _ => false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_circuit::parse_bench;
+    use wrt_fault::Fault;
+
+    #[test]
+    fn tautology_line_proves_sa1_redundant() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let faults = FaultList::from_faults(vec![
+            Fault::output(y, true),  // redundant: y is always 1
+            Fault::output(y, false), // detectable
+        ]);
+        let flags = constant_line_faults(&c, &faults, 16);
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn contradiction_line_proves_sa0_redundant() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn = NOT(a)\nz = AND(a, n)\ny = OR(z, b)\n")
+            .unwrap();
+        let z = c.node_id("z").unwrap();
+        let faults = FaultList::from_faults(vec![
+            Fault::output(z, false), // line always 0: s-a-0 redundant
+            Fault::output(z, true),
+        ]);
+        let flags = constant_line_faults(&c, &faults, 16);
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn irredundant_circuit_has_no_proofs() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
+        let faults = FaultList::full(&c);
+        let flags = constant_line_faults(&c, &faults, 16);
+        assert!(flags.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn oversized_support_is_left_unproven() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::output(y, true)]);
+        let flags = constant_line_faults(&c, &faults, 0);
+        assert_eq!(flags, vec![false]);
+    }
+
+    #[test]
+    fn pin_faults_use_their_driver_line() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nn = NOT(a)\nk = AND(a, n)\ny = OR(k, b)\nz = XOR(k, b)\n",
+        )
+        .unwrap();
+        let y = c.node_id("y").unwrap();
+        // Pin 0 of y is driven by the constant-0 line k.
+        let faults = FaultList::from_faults(vec![
+            Fault::input_pin(y, 0, false),
+            Fault::input_pin(y, 0, true),
+        ]);
+        let flags = constant_line_faults(&c, &faults, 16);
+        assert_eq!(flags, vec![true, false]);
+    }
+}

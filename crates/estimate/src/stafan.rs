@@ -1,0 +1,229 @@
+//! STAFAN-style statistical testability counting \[AgJa84\].
+//!
+//! STAFAN ("statistical fault analysis") estimates controllabilities and
+//! observabilities by *counting* signal values and one-level sensitization
+//! events during fault-free simulation — no fault simulation needed.  Our
+//! implementation counts on bit-parallel blocks from an arbitrary weighted
+//! pattern source, then combines the counts into per-fault detection
+//! probability estimates.
+
+use wrt_circuit::{Circuit, GateKind, NodeId};
+use wrt_fault::{Fault, FaultList, FaultSite};
+use wrt_sim::{LogicSim, PatternSource};
+
+/// Controllability/observability statistics counted from a fault-free
+/// simulation run.
+#[derive(Debug, Clone)]
+pub struct StafanCounts {
+    num_patterns: u64,
+    /// Count of patterns where the node was 1.
+    ones: Vec<u64>,
+    /// Per node, per fanin pin: count of patterns where the pin was
+    /// one-level sensitized (a change at the pin would flip the gate).
+    sensitized: Vec<Vec<u64>>,
+    /// Estimated probability that a change at the node reaches a primary
+    /// output (reverse-propagated).
+    observability: Vec<f64>,
+    /// Per node, per pin: estimated branch observability.
+    pin_observability: Vec<Vec<f64>>,
+}
+
+impl StafanCounts {
+    /// Simulates `num_patterns` patterns from `source` and accumulates all
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source width does not match the circuit or if
+    /// `num_patterns == 0`.
+    pub fn count(
+        circuit: &Circuit,
+        source: &mut dyn PatternSource,
+        num_patterns: u64,
+    ) -> Self {
+        assert!(num_patterns > 0, "need at least one pattern");
+        assert_eq!(source.num_inputs(), circuit.num_inputs());
+        let n = circuit.num_nodes();
+        let mut ones = vec![0u64; n];
+        let mut sensitized: Vec<Vec<u64>> = circuit
+            .iter()
+            .map(|(_, node)| vec![0u64; node.fanin().len()])
+            .collect();
+        let mut sim = LogicSim::new(circuit);
+        let mut done = 0u64;
+        while done < num_patterns {
+            let limit = (num_patterns - done).min(64) as u32;
+            let block = source.next_block(limit);
+            let mask = block.mask();
+            sim.run(&block.words);
+            for (id, node) in circuit.iter() {
+                ones[id.index()] += u64::from((sim.value(id) & mask).count_ones());
+                let fanin = node.fanin();
+                for pin in 0..fanin.len() {
+                    let sens = one_level_sensitization(&sim, node.kind(), fanin, pin);
+                    sensitized[id.index()][pin] += u64::from((sens & mask).count_ones());
+                }
+            }
+            done += u64::from(block.len);
+        }
+
+        // Reverse pass: observabilities from counted sensitization rates.
+        let mut observability = vec![0.0f64; n];
+        let mut pin_observability: Vec<Vec<f64>> = circuit
+            .iter()
+            .map(|(_, node)| vec![0.0; node.fanin().len()])
+            .collect();
+        let total = num_patterns as f64;
+        for idx in (0..n).rev() {
+            let id = NodeId::from_index(idx);
+            let mut miss = 1.0f64;
+            let mut any = false;
+            if circuit.is_output(id) {
+                miss = 0.0;
+                any = true;
+            }
+            for &sink in circuit.fanout(id) {
+                for (pin, &f) in circuit.node(sink).fanin().iter().enumerate() {
+                    if f == id {
+                        miss *= 1.0 - pin_observability[sink.index()][pin];
+                        any = true;
+                    }
+                }
+            }
+            observability[idx] = if any { 1.0 - miss } else { 0.0 };
+            let o = observability[idx];
+            for (pin, &count) in sensitized[idx].iter().enumerate() {
+                pin_observability[idx][pin] = o * (count as f64 / total);
+            }
+        }
+
+        StafanCounts {
+            num_patterns,
+            ones,
+            sensitized,
+            observability,
+            pin_observability,
+        }
+    }
+
+    /// 1-controllability: counted fraction of patterns with the node at 1.
+    pub fn controllability1(&self, id: NodeId) -> f64 {
+        self.ones[id.index()] as f64 / self.num_patterns as f64
+    }
+
+    /// Estimated observability of a node's output stem.
+    pub fn observability(&self, id: NodeId) -> f64 {
+        self.observability[id.index()]
+    }
+
+    /// Counted one-level sensitization rate of a gate input pin.
+    pub fn sensitization(&self, gate: NodeId, pin: usize) -> f64 {
+        self.sensitized[gate.index()][pin] as f64 / self.num_patterns as f64
+    }
+
+    /// Detection-probability estimate for one fault:
+    /// `P(line at the opposite value) × observability(line)`.
+    pub fn detection_probability(&self, circuit: &Circuit, fault: Fault) -> f64 {
+        let (act, obs) = match fault.site {
+            FaultSite::Output(node) => {
+                let c1 = self.controllability1(node);
+                let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
+                (act, self.observability[node.index()])
+            }
+            FaultSite::InputPin { gate, pin } => {
+                let driver = circuit.node(gate).fanin()[pin];
+                let c1 = self.controllability1(driver);
+                let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
+                (act, self.pin_observability[gate.index()][pin])
+            }
+        };
+        (act * obs).clamp(0.0, 1.0)
+    }
+
+    /// Detection-probability estimates for a whole fault list.
+    pub fn detection_probabilities(&self, circuit: &Circuit, faults: &FaultList) -> Vec<f64> {
+        faults
+            .iter()
+            .map(|(_, f)| self.detection_probability(circuit, f))
+            .collect()
+    }
+}
+
+/// Bit-parallel one-level sensitization of `pin` at a gate: the word of
+/// patterns in which flipping that pin would flip the gate output.
+fn one_level_sensitization(
+    sim: &LogicSim<'_>,
+    kind: GateKind,
+    fanin: &[NodeId],
+    pin: usize,
+) -> u64 {
+    let others = fanin
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != pin)
+        .map(|(_, f)| sim.value(*f));
+    match kind {
+        GateKind::And | GateKind::Nand => others.fold(u64::MAX, |acc, w| acc & w),
+        GateKind::Or | GateKind::Nor => !others.fold(0u64, |acc, w| acc | w),
+        GateKind::Xor | GateKind::Xnor | GateKind::Not | GateKind::Buf => u64::MAX,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_circuit::parse_bench;
+    use wrt_sim::WeightedPatterns;
+
+    #[test]
+    fn controllability_matches_signal_probability() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let mut src = WeightedPatterns::equiprobable(2, 11);
+        let counts = StafanCounts::count(&c, &mut src, 64 * 500);
+        let y = c.node_id("y").unwrap();
+        assert!((counts.controllability1(y) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn and_pin_sensitization_rate() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let mut src = WeightedPatterns::new(vec![0.5, 0.8], 3);
+        let counts = StafanCounts::count(&c, &mut src, 64 * 500);
+        let y = c.node_id("y").unwrap();
+        // Pin 0 (a) is sensitized when b = 1: rate ≈ 0.8.
+        assert!((counts.sensitization(y, 0) - 0.8).abs() < 0.02);
+        assert!((counts.sensitization(y, 1) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn detection_estimates_close_to_exact_on_tree() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(d)\nOUTPUT(y)\nm = NAND(a, b)\ny = OR(m, d)\n",
+        )
+        .unwrap();
+        let probs = [0.5, 0.5, 0.5];
+        let mut src = WeightedPatterns::new(probs.to_vec(), 7);
+        let counts = StafanCounts::count(&c, &mut src, 64 * 1000);
+        let faults = wrt_fault::FaultList::full(&c);
+        for (_, fault) in faults.iter() {
+            let exact =
+                crate::exact_detection_probability(&c, fault, &probs, 10).expect("small");
+            let est = counts.detection_probability(&c, fault);
+            assert!(
+                (est - exact).abs() < 0.08,
+                "{}: est {est} vs exact {exact}",
+                fault.describe(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn observability_of_po_is_one() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let mut src = WeightedPatterns::equiprobable(1, 1);
+        let counts = StafanCounts::count(&c, &mut src, 64);
+        assert_eq!(counts.observability(c.node_id("y").unwrap()), 1.0);
+        assert_eq!(counts.observability(c.node_id("a").unwrap()), 1.0);
+    }
+}

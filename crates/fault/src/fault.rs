@@ -1,0 +1,155 @@
+//! The fault type: a stuck-at value on a circuit line.
+
+use std::fmt;
+
+use wrt_circuit::{Circuit, NodeId};
+
+/// The location of a stuck-at fault: a circuit *line*.
+///
+/// Classical stuck-at test theory distinguishes faults on a gate's output
+/// *stem* from faults on an individual *branch* (a specific input pin of a
+/// downstream gate).  On fanout-free lines the two are equivalent; at fanout
+/// stems they are not, which is why both variants exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The output stem of a node (affects all of its fanout).
+    Output(NodeId),
+    /// A single input pin of a gate (affects only that connection).
+    InputPin {
+        /// The gate whose pin is faulty.
+        gate: NodeId,
+        /// Zero-based pin index into the gate's fanin list.
+        pin: usize,
+    },
+}
+
+impl FaultSite {
+    /// The node whose *value changes first* under this fault: the faulty
+    /// gate for pin faults, the node itself for stem faults.
+    ///
+    /// This is the root of the fault's output cone, used by fault simulation
+    /// to bound re-evaluation.
+    pub fn effect_root(self) -> NodeId {
+        match self {
+            FaultSite::Output(n) => n,
+            FaultSite::InputPin { gate, .. } => gate,
+        }
+    }
+
+    /// The node that *drives* the faulty line: for a pin fault, the fanin
+    /// node connected to that pin; for a stem fault, the node itself.
+    pub fn driver(self, circuit: &Circuit) -> NodeId {
+        match self {
+            FaultSite::Output(n) => n,
+            FaultSite::InputPin { gate, pin } => circuit.node(gate).fanin()[pin],
+        }
+    }
+}
+
+/// A single stuck-at fault: a [`FaultSite`] frozen at a logic value.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::parse_bench;
+/// use wrt_fault::{Fault, FaultSite};
+///
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+/// let a = c.node_id("a").expect("exists");
+/// let f = Fault::stuck_at(FaultSite::Output(a), true);
+/// assert_eq!(f.describe(&c), "a s-a-1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The value the line is stuck at (`false` = s-a-0, `true` = s-a-1).
+    pub stuck_value: bool,
+}
+
+impl Fault {
+    /// Constructs a stuck-at fault.
+    pub fn stuck_at(site: FaultSite, stuck_value: bool) -> Self {
+        Fault { site, stuck_value }
+    }
+
+    /// Shorthand for a stuck-at fault on a node's output stem.
+    pub fn output(node: NodeId, stuck_value: bool) -> Self {
+        Fault::stuck_at(FaultSite::Output(node), stuck_value)
+    }
+
+    /// Shorthand for a stuck-at fault on a gate input pin.
+    pub fn input_pin(gate: NodeId, pin: usize, stuck_value: bool) -> Self {
+        Fault::stuck_at(FaultSite::InputPin { gate, pin }, stuck_value)
+    }
+
+    /// Human-readable description using circuit signal names, in the
+    /// conventional `line s-a-v` notation.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let v = u8::from(self.stuck_value);
+        match self.site {
+            FaultSite::Output(n) => format!("{} s-a-{v}", circuit.node(n).name()),
+            FaultSite::InputPin { gate, pin } => {
+                let driver = circuit.node(gate).fanin()[pin];
+                format!(
+                    "{}->{} s-a-{v}",
+                    circuit.node(driver).name(),
+                    circuit.node(gate).name()
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = u8::from(self.stuck_value);
+        match self.site {
+            FaultSite::Output(n) => write!(f, "{n} s-a-{v}"),
+            FaultSite::InputPin { gate, pin } => write!(f, "{gate}.in{pin} s-a-{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_circuit::parse_bench;
+
+    #[test]
+    fn effect_root_and_driver() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let a = c.node_id("a").unwrap();
+        let y = c.node_id("y").unwrap();
+        let pin_fault = FaultSite::InputPin { gate: y, pin: 0 };
+        assert_eq!(pin_fault.effect_root(), y);
+        assert_eq!(pin_fault.driver(&c), a);
+        let stem = FaultSite::Output(a);
+        assert_eq!(stem.effect_root(), a);
+        assert_eq!(stem.driver(&c), a);
+    }
+
+    #[test]
+    fn describe_names_both_ends() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let f = Fault::input_pin(y, 1, false);
+        assert_eq!(f.describe(&c), "b->y s-a-0");
+        assert_eq!(Fault::output(y, true).describe(&c), "y s-a-1");
+    }
+
+    #[test]
+    fn faults_order_and_hash() {
+        use std::collections::HashSet;
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let mut set = HashSet::new();
+        set.insert(Fault::output(y, false));
+        set.insert(Fault::output(y, false));
+        set.insert(Fault::output(y, true));
+        assert_eq!(set.len(), 2);
+    }
+}

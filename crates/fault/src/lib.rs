@@ -1,0 +1,36 @@
+//! Single stuck-at fault modeling for combinational circuits.
+//!
+//! The paper assumes "an arbitrary but fixed combinational fault model F …
+//! it must contain all stuck-at-0 and stuck-at-1 faults at the primary
+//! inputs" (§2.3).  This crate provides the classical single stuck-at model
+//! over every circuit line (gate outputs *and* gate input pins), plus the
+//! standard reductions:
+//!
+//! * **equivalence collapsing** (controlling-value faults at a gate's inputs
+//!   are indistinguishable from the corresponding output fault),
+//! * **checkpoint faults** (primary inputs + fanout branches suffice for
+//!   fanout-reconvergent networks),
+//! * **dominance collapsing** (drop faults whose detection is implied).
+//!
+//! # Example
+//!
+//! ```
+//! use wrt_circuit::parse_bench;
+//! use wrt_fault::FaultList;
+//!
+//! # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+//! let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! let full = FaultList::full(&c);
+//! let collapsed = full.collapse_equivalent(&c);
+//! assert!(collapsed.len() < full.len());
+//! # Ok(())
+//! # }
+//! ```
+
+mod collapse;
+mod fault;
+mod list;
+
+pub use collapse::{dominance_collapse, EquivalenceClasses};
+pub use fault::{Fault, FaultSite};
+pub use list::{FaultId, FaultList};

@@ -1,0 +1,192 @@
+//! Fault-coverage bookkeeping and coverage-vs-pattern-count curves.
+
+use std::fmt;
+
+/// Result of a fault-coverage simulation run.
+///
+/// Records, for every fault of the simulated list, the index of the first
+/// detecting pattern (or `None`).  The coverage *curve* — fault coverage as
+/// a function of applied pattern count, the quantity plotted in the paper's
+/// Fig. 2 — is derived from these first-detection indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageResult {
+    detected_at: Vec<Option<u64>>,
+    num_patterns: u64,
+}
+
+impl CoverageResult {
+    /// Builds a result from first-detection indices.
+    pub fn new(detected_at: Vec<Option<u64>>, num_patterns: u64) -> Self {
+        CoverageResult {
+            detected_at,
+            num_patterns,
+        }
+    }
+
+    /// First-detection pattern index per fault (`None` = undetected).
+    pub fn detected_at(&self) -> &[Option<u64>] {
+        &self.detected_at
+    }
+
+    /// Number of patterns applied.
+    pub fn num_patterns(&self) -> u64 {
+        self.num_patterns
+    }
+
+    /// Number of faults in the simulated list.
+    pub fn num_faults(&self) -> usize {
+        self.detected_at.len()
+    }
+
+    /// Number of detected faults.
+    pub fn num_detected(&self) -> usize {
+        self.detected_at.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Final fault coverage in `[0, 1]` (1.0 for an empty fault list).
+    pub fn coverage(&self) -> f64 {
+        if self.detected_at.is_empty() {
+            return 1.0;
+        }
+        self.num_detected() as f64 / self.detected_at.len() as f64
+    }
+
+    /// Coverage after the first `n` patterns.
+    pub fn coverage_after(&self, n: u64) -> f64 {
+        if self.detected_at.is_empty() {
+            return 1.0;
+        }
+        let hit = self
+            .detected_at
+            .iter()
+            .filter(|d| matches!(d, Some(i) if *i < n))
+            .count();
+        hit as f64 / self.detected_at.len() as f64
+    }
+
+    /// The coverage curve sampled at the given pattern counts.
+    pub fn curve(&self, samples: &[u64]) -> CoverageCurve {
+        CoverageCurve {
+            points: samples
+                .iter()
+                .map(|&n| (n, self.coverage_after(n)))
+                .collect(),
+        }
+    }
+
+    /// The coverage curve sampled at logarithmically spaced points
+    /// (plus the final pattern count).
+    pub fn log_curve(&self, points_per_decade: u32) -> CoverageCurve {
+        let mut samples = vec![];
+        let mut x = 1.0f64;
+        while (x as u64) < self.num_patterns {
+            samples.push(x as u64);
+            x *= 10f64.powf(1.0 / f64::from(points_per_decade));
+        }
+        samples.push(self.num_patterns);
+        samples.dedup();
+        self.curve(&samples)
+    }
+}
+
+impl fmt::Display for CoverageResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected ({:.1} %) after {} patterns",
+            self.num_detected(),
+            self.num_faults(),
+            self.coverage() * 100.0,
+            self.num_patterns
+        )
+    }
+}
+
+/// A sampled fault-coverage-vs-pattern-count curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageCurve {
+    /// `(pattern count, coverage)` pairs in increasing pattern count.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl CoverageCurve {
+    /// True if this curve is everywhere ≥ `other` at the sampled points
+    /// shared by both curves.
+    pub fn dominates(&self, other: &CoverageCurve) -> bool {
+        self.points.iter().all(|&(n, c)| {
+            other
+                .points
+                .iter()
+                .find(|&&(m, _)| m == n)
+                .is_none_or(|&(_, oc)| c >= oc)
+        })
+    }
+}
+
+impl fmt::Display for CoverageCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(n, c) in &self.points {
+            writeln!(f, "{n:>10}  {:6.2} %", c * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_accounting() {
+        let r = CoverageResult::new(vec![Some(0), Some(10), None, Some(99)], 100);
+        assert_eq!(r.num_detected(), 3);
+        assert_eq!(r.coverage(), 0.75);
+        assert_eq!(r.coverage_after(0), 0.0);
+        assert_eq!(r.coverage_after(1), 0.25);
+        assert_eq!(r.coverage_after(11), 0.5);
+        assert_eq!(r.coverage_after(100), 0.75);
+    }
+
+    #[test]
+    fn empty_list_is_fully_covered() {
+        let r = CoverageResult::new(vec![], 10);
+        assert_eq!(r.coverage(), 1.0);
+        assert_eq!(r.coverage_after(5), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let r = CoverageResult::new(vec![Some(3), Some(7), Some(50), None], 64);
+        let curve = r.curve(&[1, 4, 8, 64]);
+        for w in curve.points.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn log_curve_ends_at_num_patterns() {
+        let r = CoverageResult::new(vec![Some(3)], 1000);
+        let curve = r.log_curve(2);
+        assert_eq!(curve.points.last().expect("non-empty").0, 1000);
+    }
+
+    #[test]
+    fn dominance_check() {
+        let hi = CoverageCurve {
+            points: vec![(1, 0.5), (10, 0.9)],
+        };
+        let lo = CoverageCurve {
+            points: vec![(1, 0.2), (10, 0.9)],
+        };
+        assert!(hi.dominates(&lo));
+        assert!(!lo.dominates(&hi));
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = CoverageResult::new(vec![Some(0), None], 10);
+        let s = format!("{r}");
+        assert!(s.contains("1/2"));
+        assert!(s.contains("50.0 %"));
+    }
+}

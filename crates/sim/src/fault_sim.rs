@@ -1,0 +1,477 @@
+//! Parallel-pattern single-fault-propagation (PPSFP) fault simulation.
+//!
+//! For every 64-pattern block the fault-free circuit is simulated once;
+//! each fault is then injected individually and only its output cone is
+//! re-evaluated.  A fault is detected in pattern *j* when some primary
+//! output differs from the fault-free value in bit *j*.
+
+use wrt_circuit::{transitive_fanout, Circuit, GateKind, NodeId};
+use wrt_fault::{Fault, FaultList, FaultSite};
+
+use crate::coverage::CoverageResult;
+use crate::logic::{eval_gate_words, LogicSim};
+use crate::patterns::PatternSource;
+
+/// PPSFP fault simulator over a fixed circuit and fault list.
+///
+/// The simulator owns per-fault cone data (computed once) and scratch
+/// buffers, so blocks can be streamed through it cheaply.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::parse_bench;
+/// use wrt_fault::FaultList;
+/// use wrt_sim::{FaultSimulator, WeightedPatterns, PatternSource};
+///
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")?;
+/// let faults = FaultList::checkpoints(&c);
+/// let mut sim = FaultSimulator::new(&c, &faults);
+/// let mut src = WeightedPatterns::equiprobable(2, 3);
+/// let block = src.next_block(64);
+/// let detected = sim.detect_block(&block.words, block.mask());
+/// assert_eq!(detected.len(), faults.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultSimulator<'c> {
+    circuit: &'c Circuit,
+    faults: Vec<Fault>,
+    /// Per fault: index into `cones` (shared across faults with the same
+    /// effect root — both polarities, stem + pin faults — which keeps the
+    /// memory footprint proportional to distinct roots, not fault count).
+    cone_slot: Vec<usize>,
+    /// Per slot: the effect root's output cone (topologically sorted) and
+    /// the primary outputs inside it.
+    cones: Vec<(Vec<NodeId>, Vec<NodeId>)>,
+    good: LogicSim<'c>,
+    /// Scratch: faulty value per node, valid when `touched == epoch`.
+    faulty: Vec<u64>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'c> FaultSimulator<'c> {
+    /// Builds a simulator for `circuit` and `faults`.
+    pub fn new(circuit: &'c Circuit, faults: &FaultList) -> Self {
+        let mut cone_slot = Vec::with_capacity(faults.len());
+        let mut cache: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
+        let mut cones: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+        for (_, f) in faults.iter() {
+            let root = f.site.effect_root();
+            let slot = *cache.entry(root).or_insert_with(|| {
+                let cone = transitive_fanout(circuit, &[root]);
+                let outs = cone
+                    .iter()
+                    .copied()
+                    .filter(|&n| circuit.is_output(n))
+                    .collect();
+                cones.push((cone, outs));
+                cones.len() - 1
+            });
+            cone_slot.push(slot);
+        }
+        FaultSimulator {
+            circuit,
+            faults: faults.iter().map(|(_, f)| f).collect(),
+            cone_slot,
+            cones,
+            good: LogicSim::new(circuit),
+            faulty: vec![0; circuit.num_nodes()],
+            touched: vec![0; circuit.num_nodes()],
+            epoch: 0,
+        }
+    }
+
+    /// Number of faults under simulation.
+    pub fn num_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The fault-free simulator state from the most recent block.
+    pub fn good_sim(&self) -> &LogicSim<'c> {
+        &self.good
+    }
+
+    /// Simulates one block fault-free and returns, for every fault, the
+    /// word of patterns that detect it (bit *j* set = pattern *j* detects).
+    pub fn detect_block(&mut self, pi_words: &[u64], mask: u64) -> Vec<u64> {
+        self.good.run(pi_words);
+        (0..self.faults.len())
+            .map(|i| self.detect_fault_in_block(i, mask))
+            .collect()
+    }
+
+    /// Like [`FaultSimulator::detect_block`] but only for the faults whose
+    /// index satisfies `active`; inactive faults report 0.
+    pub fn detect_block_filtered(
+        &mut self,
+        pi_words: &[u64],
+        mask: u64,
+        active: &[bool],
+    ) -> Vec<u64> {
+        self.good.run(pi_words);
+        (0..self.faults.len())
+            .map(|i| {
+                if active[i] {
+                    self.detect_fault_in_block(i, mask)
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Detection word for fault index `i` against the current fault-free
+    /// state (callers must have run a block first).
+    fn detect_fault_in_block(&mut self, i: usize, mask: u64) -> u64 {
+        let fault = self.faults[i];
+        let stuck = if fault.stuck_value { u64::MAX } else { 0 };
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset stamps.
+            self.touched.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        let root = fault.site.effect_root();
+
+        // Inject at the root.
+        let root_value = match fault.site {
+            FaultSite::Output(_) => stuck,
+            FaultSite::InputPin { gate, pin } => {
+                let node = self.circuit.node(gate);
+                let words = node.fanin().iter().enumerate().map(|(p, f)| {
+                    if p == pin {
+                        stuck
+                    } else {
+                        self.good.value(*f)
+                    }
+                });
+                eval_gate_words(node.kind(), words)
+            }
+        };
+        if root_value == self.good.value(root) {
+            // Fault not excited anywhere in this block.
+            return 0;
+        }
+        self.faulty[root.index()] = root_value;
+        self.touched[root.index()] = epoch;
+
+        // Propagate through the cone (already topologically sorted).
+        let (cone, cone_outputs) = &self.cones[self.cone_slot[i]];
+        for &n in cone {
+            if n == root {
+                continue;
+            }
+            let node = self.circuit.node(n);
+            debug_assert!(node.kind() != GateKind::Input || self.circuit.is_output(n));
+            let words = node.fanin().iter().map(|f| {
+                if self.touched[f.index()] == epoch {
+                    self.faulty[f.index()]
+                } else {
+                    self.good.value(*f)
+                }
+            });
+            let w = eval_gate_words(node.kind(), words);
+            if w != self.good.value(n) {
+                self.faulty[n.index()] = w;
+                self.touched[n.index()] = epoch;
+            }
+        }
+
+        // Compare primary outputs inside the cone.
+        let mut diff = 0u64;
+        for &o in cone_outputs {
+            if self.touched[o.index()] == epoch {
+                diff |= self.faulty[o.index()] ^ self.good.value(o);
+            }
+        }
+        diff & mask
+    }
+}
+
+/// Runs `num_patterns` patterns from `source` against `faults` and records
+/// first-detection indices and the coverage curve.
+///
+/// With `drop = true` a fault is no longer simulated after its first
+/// detection (standard fault dropping; much faster, same coverage result).
+pub fn fault_coverage(
+    circuit: &Circuit,
+    faults: &FaultList,
+    mut source: impl PatternSource,
+    num_patterns: u64,
+    drop: bool,
+) -> CoverageResult {
+    let mut sim = FaultSimulator::new(circuit, faults);
+    let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
+    let mut active = vec![true; faults.len()];
+    let mut done = 0u64;
+    while done < num_patterns {
+        let limit = (num_patterns - done).min(64) as u32;
+        let block = source.next_block(limit);
+        let mask = block.mask();
+        let words = sim.detect_block_filtered(&block.words, mask, &active);
+        for (i, w) in words.iter().enumerate() {
+            if *w != 0 && detected_at[i].is_none() {
+                let first = w.trailing_zeros() as u64;
+                detected_at[i] = Some(done + first);
+                if drop {
+                    active[i] = false;
+                }
+            }
+        }
+        done += u64::from(block.len);
+    }
+    CoverageResult::new(detected_at, num_patterns)
+}
+
+/// Counts, for every fault, how many of `num_patterns` patterns detect it
+/// (no dropping).  `counts[f] / num_patterns` is the Monte-Carlo estimate
+/// of the detection probability `p_f(X)` for the source's distribution `X`.
+pub fn detection_counts(
+    circuit: &Circuit,
+    faults: &FaultList,
+    mut source: impl PatternSource,
+    num_patterns: u64,
+) -> Vec<u64> {
+    let mut sim = FaultSimulator::new(circuit, faults);
+    let mut counts = vec![0u64; faults.len()];
+    let mut done = 0u64;
+    while done < num_patterns {
+        let limit = (num_patterns - done).min(64) as u32;
+        let block = source.next_block(limit);
+        let words = sim.detect_block(&block.words, block.mask());
+        for (i, w) in words.iter().enumerate() {
+            counts[i] += u64::from(w.count_ones());
+        }
+        done += u64::from(block.len);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{ExhaustivePatterns, WeightedPatterns};
+    use wrt_circuit::parse_bench;
+    use wrt_fault::Fault;
+
+    fn and_circuit() -> Circuit {
+        parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap()
+    }
+
+    #[test]
+    fn and_gate_detection_conditions() {
+        let c = and_circuit();
+        let y = c.node_id("y").unwrap();
+        let a = c.node_id("a").unwrap();
+        let faults = FaultList::from_faults(vec![
+            Fault::output(y, false), // detected by (1,1)
+            Fault::output(y, true),  // detected by any pattern with y=0
+            Fault::output(a, true),  // detected by (0,1)
+        ]);
+        let mut sim = FaultSimulator::new(&c, &faults);
+        // patterns j: j0=(0,0), j1=(1,0), j2=(0,1), j3=(1,1)
+        let words = vec![0b1010, 0b1100];
+        let det = sim.detect_block(&words, 0b1111);
+        assert_eq!(det[0], 0b1000); // only (1,1)
+        assert_eq!(det[1], 0b0111); // all with y=0
+        assert_eq!(det[2], 0b0100); // only (0,1)
+    }
+
+    #[test]
+    fn pin_fault_vs_stem_fault_at_fanout() {
+        // a fans out to AND and OR; a-pin s-a-1 at the AND only affects y.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n",
+        )
+        .unwrap();
+        let yid = c.node_id("y").unwrap();
+        let a = c.node_id("a").unwrap();
+        let faults = FaultList::from_faults(vec![
+            Fault::input_pin(yid, 0, true),
+            Fault::output(a, true),
+        ]);
+        let mut sim = FaultSimulator::new(&c, &faults);
+        // pattern (a,b) = (0,0): pin fault makes y=0 still (b=0) -> undetected;
+        // stem fault makes z=1 -> detected at z.
+        let det = sim.detect_block(&[0b0, 0b0], 0b1);
+        assert_eq!(det[0], 0);
+        assert_eq!(det[1], 1);
+        // pattern (0,1): pin fault y: faulty AND(1,1)=1 vs good 0 -> detected.
+        let det = sim.detect_block(&[0b0, 0b1], 0b1);
+        assert_eq!(det[0], 1);
+    }
+
+    #[test]
+    fn exhaustive_coverage_of_irredundant_circuit_is_complete() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(cout)\n\
+             x1 = XOR(a, b)\ns = XOR(x1, cin)\na1 = AND(a, b)\na2 = AND(x1, cin)\n\
+             cout = OR(a1, a2)\n",
+        )
+        .unwrap();
+        let faults = FaultList::full(&c);
+        let res = fault_coverage(&c, &faults, ExhaustivePatterns::new(3), 8, false);
+        assert_eq!(res.num_detected(), faults.len(), "full adder is irredundant");
+        assert_eq!(res.coverage(), 1.0);
+    }
+
+    #[test]
+    fn redundant_fault_never_detected() {
+        // y = OR(a, NOT(a)) == 1 always; y s-a-1 is redundant.
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::output(y, true), Fault::output(y, false)]);
+        let res = fault_coverage(&c, &faults, ExhaustivePatterns::new(1), 2, false);
+        assert_eq!(res.detected_at()[0], None); // s-a-1 redundant
+        assert!(res.detected_at()[1].is_some()); // s-a-0 trivially detected
+    }
+
+    #[test]
+    fn dropping_matches_non_dropping_coverage() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nm = NAND(a, b)\nn = NOR(b, c)\ny = XOR(m, n)\n",
+        )
+        .unwrap();
+        let faults = FaultList::full(&c);
+        let r1 = fault_coverage(&c, &faults, WeightedPatterns::equiprobable(3, 5), 256, true);
+        let r2 = fault_coverage(&c, &faults, WeightedPatterns::equiprobable(3, 5), 256, false);
+        assert_eq!(r1.detected_at(), r2.detected_at());
+    }
+
+    #[test]
+    fn detection_counts_match_exact_probabilities() {
+        // y = AND(a,b): p(y s-a-0 detected) = P(a=1)P(b=1) = 1/4 under
+        // equiprobable patterns.
+        let c = and_circuit();
+        let y = c.node_id("y").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::output(y, false)]);
+        let n = 64 * 400;
+        let counts = detection_counts(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(2, 17),
+            n,
+        );
+        let p = counts[0] as f64 / n as f64;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn unexcited_fault_short_circuit() {
+        // Fault value equals good value everywhere in block -> no detection
+        // and the early-exit path is taken (covered implicitly).
+        let c = and_circuit();
+        let a = c.node_id("a").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::output(a, true)]);
+        let mut sim = FaultSimulator::new(&c, &faults);
+        // a already 1 in every pattern: fault unexcited.
+        let det = sim.detect_block(&[u64::MAX, 0], u64::MAX);
+        assert_eq!(det[0], 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::logic::simulate_pattern;
+    use crate::patterns::ExhaustivePatterns;
+    use proptest::prelude::*;
+    use wrt_circuit::{CircuitBuilder, GateKind};
+
+    fn arb_circuit() -> impl Strategy<Value = Circuit> {
+        let kinds = prop::sample::select(vec![
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+        ]);
+        proptest::collection::vec((kinds, proptest::collection::vec(0usize..100, 1..3)), 4..18)
+            .prop_map(|specs| {
+                let mut b = CircuitBuilder::named("rand");
+                let mut ids = Vec::new();
+                for i in 0..4 {
+                    ids.push(b.input(format!("i{i}")));
+                }
+                for (kind, picks) in specs {
+                    let fanin: Vec<_> = if kind == GateKind::Not {
+                        vec![ids[picks[0] % ids.len()]]
+                    } else {
+                        picks.iter().map(|&p| ids[p % ids.len()]).collect()
+                    };
+                    ids.push(b.gate_auto(kind, &fanin).expect("valid"));
+                }
+                b.mark_output(*ids.last().expect("nonempty"));
+                b.mark_output(ids[4]);
+                b.build().expect("valid circuit")
+            })
+    }
+
+    /// Scalar reference fault simulation: inject the fault into a copy of
+    /// the evaluation and compare outputs, bit by bit.
+    fn scalar_detects(circuit: &Circuit, fault: Fault, assignment: &[bool]) -> bool {
+        let good = simulate_pattern(circuit, assignment);
+        // Faulty evaluation.
+        let mut values = vec![false; circuit.num_nodes()];
+        let mut buf = Vec::new();
+        for (id, node) in circuit.iter() {
+            let mut v = match node.kind() {
+                GateKind::Input => assignment[circuit.input_position(id).expect("pi")],
+                kind => {
+                    buf.clear();
+                    for (pin, f) in node.fanin().iter().enumerate() {
+                        let mut fv = values[f.index()];
+                        if let FaultSite::InputPin { gate, pin: fp } = fault.site {
+                            if gate == id && fp == pin {
+                                fv = fault.stuck_value;
+                            }
+                        }
+                        buf.push(fv);
+                    }
+                    kind.eval(&buf)
+                }
+            };
+            if fault.site == FaultSite::Output(id) {
+                v = fault.stuck_value;
+            }
+            values[id.index()] = v;
+        }
+        let faulty: Vec<bool> = circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect();
+        good != faulty
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ppsfp_agrees_with_scalar_reference(circuit in arb_circuit()) {
+            let faults = FaultList::full(&circuit);
+            let mut sim = FaultSimulator::new(&circuit, &faults);
+            let mut src = ExhaustivePatterns::new(4);
+            let block = src.next_block(16);
+            let det = sim.detect_block(&block.words, block.mask());
+            for (i, (_, fault)) in faults.iter().enumerate() {
+                for j in 0..16u32 {
+                    let assignment = block.pattern(j);
+                    let expected = scalar_detects(&circuit, fault, &assignment);
+                    let got = (det[i] >> j) & 1 == 1;
+                    prop_assert_eq!(
+                        got, expected,
+                        "fault {} pattern {:?}", fault.describe(&circuit), assignment
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Bit-parallel logic simulation and stuck-at fault simulation.
+//!
+//! This crate is the "fault simulation" substrate of the paper's
+//! evaluation (Tables 2 and 4, Fig. 2): a 64-way bit-parallel logic
+//! simulator ([`LogicSim`]), weighted random pattern sources
+//! ([`WeightedPatterns`]), and a parallel-pattern single-fault-propagation
+//! (PPSFP) fault simulator ([`FaultSimulator`]) with optional fault
+//! dropping and coverage-curve recording.
+//!
+//! All randomness is deterministic and seed-driven ([`Xoshiro256`]), so
+//! every experiment in the workspace is bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use wrt_circuit::parse_bench;
+//! use wrt_fault::FaultList;
+//! use wrt_sim::{fault_coverage, WeightedPatterns};
+//!
+//! # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+//! let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! let faults = FaultList::checkpoints(&c);
+//! let source = WeightedPatterns::equiprobable(c.num_inputs(), 42);
+//! let result = fault_coverage(&c, &faults, source, 256, true);
+//! assert_eq!(result.coverage(), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod coverage;
+mod fault_sim;
+mod logic;
+mod multiple;
+mod patterns;
+mod rng;
+
+pub use coverage::{CoverageCurve, CoverageResult};
+pub use fault_sim::{detection_counts, fault_coverage, FaultSimulator};
+pub use multiple::{detect_multiple, multiple_fault_coverage, random_multiples};
+pub use logic::{eval_gate_words, simulate_pattern, LogicSim};
+pub use patterns::{ExhaustivePatterns, PatternBlock, PatternSource, WeightedPatterns};
+pub use rng::Xoshiro256;

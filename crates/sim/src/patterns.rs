@@ -1,0 +1,220 @@
+//! Random pattern sources.
+//!
+//! A pattern source produces blocks of up to 64 test patterns in
+//! bit-parallel layout: one `u64` per primary input, bit *j* of each word
+//! belonging to pattern *j*.  The central implementation is
+//! [`WeightedPatterns`], which realizes the paper's *unequiprobable* random
+//! patterns: input *i* is 1 with its own probability `x_i`.
+
+use crate::rng::Xoshiro256;
+
+/// One block of up to 64 bit-parallel patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternBlock {
+    /// One word per primary input; bit *j* = value of that input in
+    /// pattern *j*.
+    pub words: Vec<u64>,
+    /// Number of valid patterns in this block (1..=64).
+    pub len: u32,
+}
+
+impl PatternBlock {
+    /// Mask with `len` low bits set: the valid-pattern positions.
+    pub fn mask(&self) -> u64 {
+        if self.len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// Extracts pattern `j` as a vector of booleans (one per input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len`.
+    pub fn pattern(&self, j: u32) -> Vec<bool> {
+        assert!(j < self.len, "pattern index out of range");
+        self.words.iter().map(|w| (w >> j) & 1 == 1).collect()
+    }
+}
+
+/// A source of bit-parallel pattern blocks.
+///
+/// Implementors are infinite streams; callers decide how many patterns to
+/// draw.  The trait is object-safe so simulators can take
+/// `&mut dyn PatternSource`.
+pub trait PatternSource {
+    /// Produces the next block of up to `limit` patterns (`limit` ≤ 64).
+    fn next_block(&mut self, limit: u32) -> PatternBlock;
+
+    /// Number of primary inputs each block covers.
+    fn num_inputs(&self) -> usize;
+}
+
+/// Weighted (unequiprobable) random patterns: input *i* is 1 with
+/// probability `probs[i]`, independently across inputs and patterns.
+///
+/// This models both software pattern generation (fault-simulation
+/// acceleration, §5.2) and ideal weighted-LFSR hardware; the quantized
+/// hardware realization lives in `wrt-bist`.
+///
+/// # Example
+///
+/// ```
+/// use wrt_sim::{PatternSource, WeightedPatterns};
+/// let mut src = WeightedPatterns::new(vec![0.9, 0.1], 7);
+/// let block = src.next_block(64);
+/// assert_eq!(block.words.len(), 2);
+/// // Input 0 is mostly ones, input 1 mostly zeros.
+/// assert!(block.words[0].count_ones() > block.words[1].count_ones());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedPatterns {
+    probs: Vec<f64>,
+    rng: Xoshiro256,
+}
+
+impl WeightedPatterns {
+    /// Creates a weighted source with one probability per primary input.
+    pub fn new(probs: Vec<f64>, seed: u64) -> Self {
+        WeightedPatterns {
+            probs,
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+
+    /// The conventional random test: every input 1 with probability 0.5.
+    pub fn equiprobable(num_inputs: usize, seed: u64) -> Self {
+        WeightedPatterns::new(vec![0.5; num_inputs], seed)
+    }
+
+    /// The input probabilities driving this source.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl PatternSource for WeightedPatterns {
+    fn next_block(&mut self, limit: u32) -> PatternBlock {
+        let limit = limit.clamp(1, 64);
+        let words = self
+            .probs
+            .iter()
+            .map(|&p| self.rng.weighted_word(p))
+            .collect();
+        PatternBlock { words, len: limit }
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.probs.len()
+    }
+}
+
+/// Exhaustive pattern source: counts through all `2^n` input combinations
+/// (wraps around).  Useful for exact small-circuit experiments and tests.
+#[derive(Debug, Clone)]
+pub struct ExhaustivePatterns {
+    num_inputs: usize,
+    next: u64,
+}
+
+impl ExhaustivePatterns {
+    /// Creates a counter-based source for `num_inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 63` (exhaustive enumeration is pointless
+    /// beyond that).
+    pub fn new(num_inputs: usize) -> Self {
+        assert!(num_inputs <= 63, "exhaustive source limited to 63 inputs");
+        ExhaustivePatterns {
+            num_inputs,
+            next: 0,
+        }
+    }
+}
+
+impl PatternSource for ExhaustivePatterns {
+    fn next_block(&mut self, limit: u32) -> PatternBlock {
+        let limit = limit.clamp(1, 64);
+        let mut words = vec![0u64; self.num_inputs];
+        for j in 0..limit {
+            let value = self.next;
+            self.next = self.next.wrapping_add(1);
+            for (i, w) in words.iter_mut().enumerate() {
+                *w |= ((value >> i) & 1) << j;
+            }
+        }
+        PatternBlock { words, len: limit }
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mask_matches_len() {
+        let b = PatternBlock {
+            words: vec![0],
+            len: 10,
+        };
+        assert_eq!(b.mask(), 0x3FF);
+        let full = PatternBlock {
+            words: vec![0],
+            len: 64,
+        };
+        assert_eq!(full.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn weighted_statistics() {
+        let mut src = WeightedPatterns::new(vec![0.2, 0.8], 1);
+        let mut ones = [0u32; 2];
+        for _ in 0..200 {
+            let b = src.next_block(64);
+            ones[0] += b.words[0].count_ones();
+            ones[1] += b.words[1].count_ones();
+        }
+        let total = 200.0 * 64.0;
+        assert!((f64::from(ones[0]) / total - 0.2).abs() < 0.02);
+        assert!((f64::from(ones[1]) / total - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_is_deterministic_per_seed() {
+        let mut a = WeightedPatterns::new(vec![0.3; 4], 9);
+        let mut b = WeightedPatterns::new(vec![0.3; 4], 9);
+        assert_eq!(a.next_block(64), b.next_block(64));
+    }
+
+    #[test]
+    fn pattern_extraction() {
+        let mut src = ExhaustivePatterns::new(3);
+        let b = src.next_block(8);
+        assert_eq!(b.pattern(0), vec![false, false, false]);
+        assert_eq!(b.pattern(5), vec![true, false, true]);
+        assert_eq!(b.pattern(7), vec![true, true, true]);
+    }
+
+    #[test]
+    fn exhaustive_wraps_and_continues() {
+        let mut src = ExhaustivePatterns::new(2);
+        let b1 = src.next_block(3);
+        let b2 = src.next_block(3);
+        assert_eq!(b1.pattern(0), vec![false, false]);
+        assert_eq!(b2.pattern(0), vec![true, true]); // continues at 3
+    }
+
+    #[test]
+    fn source_is_object_safe() {
+        let mut src: Box<dyn PatternSource> = Box::new(ExhaustivePatterns::new(2));
+        assert_eq!(src.num_inputs(), 2);
+        let _ = src.next_block(4);
+    }
+}

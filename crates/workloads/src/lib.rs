@@ -1,0 +1,42 @@
+//! Benchmark circuit generators for the `wrt` workspace.
+//!
+//! The paper's evaluation runs on twelve circuits: the ISCAS-85 benchmarks
+//! C432–C7552 \[BRGL85\], a 24-bit comparator `S1` built from six TI SN7485
+//! 4-bit comparators, and the combinational part of a divider `S2`
+//! \[KuWu85\].  The original ISCAS-85 netlist files are not available
+//! offline, so this crate provides *generators* for gate-level circuits of
+//! the same functional class and comparable structure (see `DESIGN.md` §3
+//! for the substitution argument).  `S1` is reconstructed faithfully from
+//! the SN7485 datasheet logic; `S2` is a non-restoring array divider.
+//!
+//! All generators are deterministic: the same parameters always produce
+//! the identical netlist.
+//!
+//! # Example
+//!
+//! ```
+//! let s1 = wrt_workloads::s1();
+//! assert_eq!(s1.num_inputs(), 48); // A0..A23, B0..B23
+//! assert_eq!(s1.num_outputs(), 3); // A>B, A<B, A=B
+//! ```
+
+mod adder_cmp;
+mod alu;
+pub mod cells;
+mod comparator;
+mod divider;
+mod ecc;
+mod interrupt;
+mod multiplier;
+mod pathological;
+mod registry;
+
+pub use adder_cmp::{adder_comparator, c2670ish, c7552ish};
+pub use alu::{alu, c3540ish, c5315ish, c880ish};
+pub use comparator::{comparator, s1, sn7485};
+pub use divider::{array_divider, s2};
+pub use ecc::{c1355ish, c1908ish, c499ish, sec_circuit};
+pub use interrupt::{c432ish, priority_interrupt};
+pub use multiplier::{array_multiplier, c6288ish};
+pub use pathological::pathological_pair;
+pub use registry::{all_paper_circuits, by_name, starred_circuits, WORKLOAD_NAMES};

@@ -1,0 +1,72 @@
+//! The pathological case of the paper's §5.3.
+//!
+//! Optimization fails when two faults both have very low detection
+//! probability *and* nearly disjoint test sets (large Hamming distance
+//! between the tests).  The canonical example: a wide AND and a wide NOR
+//! over the *same* inputs.  Detecting `AND-output s-a-0` requires all
+//! inputs 1; detecting `NOR-output s-a-0` requires all inputs 0.  A single
+//! weight set cannot make both likely: `Π x_i · Π (1 − x_i)` is maximized
+//! at `x_i = 1/2`, right back at the equiprobable disaster.  The fix the
+//! paper sketches — partitioning the fault set and computing one weight
+//! set per part — is implemented in `wrt-core::optimize_partitioned`.
+
+use wrt_circuit::{Circuit, CircuitBuilder, GateKind, NodeId};
+
+/// Builds the AND/NOR conflict circuit over `width` shared inputs.
+///
+/// Outputs: `WIDE_AND` and `WIDE_NOR`.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn pathological_pair(width: usize) -> Circuit {
+    assert!(width >= 2, "conflict needs at least two inputs");
+    let mut b = CircuitBuilder::named(format!("patho{width}"));
+    let xs: Vec<NodeId> = (0..width).map(|i| b.input(format!("X{i}"))).collect();
+    let wide_and = b.gate(GateKind::And, "WIDE_AND", &xs).expect("valid fanin");
+    let wide_nor = b.gate(GateKind::Nor, "WIDE_NOR", &xs).expect("valid fanin");
+    b.mark_output(wide_and);
+    b.mark_output(wide_nor);
+    b.build().expect("generator produces valid circuits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_functions() {
+        let c = pathological_pair(8);
+        assert_eq!(c.num_inputs(), 8);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn outputs_conflict_by_construction() {
+        // Any single pattern can excite at most one of the two hard
+        // conditions (all ones vs. all zeros).
+        let c = pathological_pair(4);
+        let and_out = c.node_id("WIDE_AND").unwrap();
+        let nor_out = c.node_id("WIDE_NOR").unwrap();
+        for v in 0..16u32 {
+            let assignment: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
+            let mut values = vec![false; c.num_nodes()];
+            let mut buf = Vec::new();
+            for (id, node) in c.iter() {
+                values[id.index()] = match node.kind() {
+                    GateKind::Input => assignment[c.input_position(id).expect("pi")],
+                    kind => {
+                        buf.clear();
+                        buf.extend(node.fanin().iter().map(|f| values[f.index()]));
+                        kind.eval(&buf)
+                    }
+                };
+            }
+            assert!(
+                !(values[and_out.index()] && values[nor_out.index()]),
+                "both hard conditions true at once"
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Central registry of the paper's twelve benchmark circuits.
+
+use wrt_circuit::Circuit;
+
+/// Names of the twelve circuits of Table 1, in the paper's order.
+pub const WORKLOAD_NAMES: [&str; 12] = [
+    "s1", "s2", "c432ish", "c499ish", "c880ish", "c1355ish", "c1908ish", "c2670ish", "c3540ish",
+    "c5315ish", "c6288ish", "c7552ish",
+];
+
+/// Names of the starred circuits (the random-pattern-resistant ones the
+/// paper optimizes in Tables 2–5).
+pub const STARRED_NAMES: [&str; 4] = ["s1", "s2", "c2670ish", "c7552ish"];
+
+/// Builds a workload circuit by its registry name.
+///
+/// Returns `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// let c = wrt_workloads::by_name("s1").expect("registered");
+/// assert_eq!(c.name(), "s1");
+/// assert!(wrt_workloads::by_name("c17").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Circuit> {
+    Some(match name {
+        "s1" => crate::s1(),
+        "s2" => crate::s2(),
+        "c432ish" => crate::c432ish(),
+        "c499ish" => crate::c499ish(),
+        "c880ish" => crate::c880ish(),
+        "c1355ish" => crate::c1355ish(),
+        "c1908ish" => crate::c1908ish(),
+        "c2670ish" => crate::c2670ish(),
+        "c3540ish" => crate::c3540ish(),
+        "c5315ish" => crate::c5315ish(),
+        "c6288ish" => crate::c6288ish(),
+        "c7552ish" => crate::c7552ish(),
+        _ => return None,
+    })
+}
+
+/// All twelve circuits of Table 1, in order.
+pub fn all_paper_circuits() -> Vec<Circuit> {
+    WORKLOAD_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("registered name"))
+        .collect()
+}
+
+/// The four starred (random-pattern-resistant) circuits of Tables 2–5.
+pub fn starred_circuits() -> Vec<Circuit> {
+    STARRED_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("registered name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_builds() {
+        for name in WORKLOAD_NAMES {
+            let c = by_name(name).expect("builds");
+            assert_eq!(c.name(), name);
+            assert!(c.num_inputs() > 0);
+            assert!(c.num_outputs() > 0);
+            assert!(c.num_gates() > 0);
+        }
+    }
+
+    #[test]
+    fn starred_is_subset_of_all() {
+        for name in STARRED_NAMES {
+            assert!(WORKLOAD_NAMES.contains(&name));
+        }
+        assert_eq!(starred_circuits().len(), 4);
+    }
+
+    #[test]
+    fn circuits_are_deterministic() {
+        let a = by_name("c880ish").unwrap();
+        let b = by_name("c880ish").unwrap();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for (id, node) in a.iter() {
+            let other = b.node(id);
+            assert_eq!(node.kind(), other.kind());
+            assert_eq!(node.fanin(), other.fanin());
+        }
+    }
+}

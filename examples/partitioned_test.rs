@@ -1,0 +1,72 @@
+//! The limits of one weight set, and the partitioning fix (paper §5.3).
+//!
+//! A wide AND and a wide NOR over the same inputs cannot both be made
+//! probable by a single input distribution — the paper's pathological
+//! case.  The fault-set partitioning extension computes one weight set
+//! per conflict group and applies them in consecutive test sessions.
+//!
+//! Run with `cargo run --release --example partitioned_test`.
+
+use wrt::prelude::*;
+
+fn main() {
+    let width = 16;
+    let circuit = wrt::workloads::pathological_pair(width);
+    println!("circuit: {circuit}");
+    let and_out = circuit.node_id("WIDE_AND").expect("exists");
+    let nor_out = circuit.node_id("WIDE_NOR").expect("exists");
+    let faults = FaultList::from_faults(vec![
+        Fault::output(and_out, false), // test = all ones
+        Fault::output(nor_out, false), // test = all zeros
+    ]);
+
+    let config = OptimizeConfig::default();
+    let mut engine = CopEngine::new();
+
+    // One weight set: the conflict forces the equiprobable disaster.
+    let single = optimize(&circuit, &faults, &mut engine, &config);
+    println!();
+    println!(
+        "single weight set : {:.3e} patterns (improvement {:.1}x)",
+        single.final_length,
+        single.improvement_factor()
+    );
+
+    // Two weight sets via partitioning.
+    let parts = optimize_partitioned(&circuit, &faults, &mut engine, &config, 2);
+    println!(
+        "partitioned       : {:.3e} patterns total over {} sessions",
+        parts.total_length(),
+        parts.parts.len()
+    );
+    for (k, part) in parts.parts.iter().enumerate() {
+        let mean: f64 = part.weights.iter().sum::<f64>() / part.weights.len() as f64;
+        println!(
+            "  session {k}: {} faults, length {:.3e}, mean weight {mean:.2}",
+            part.fault_ids.len(),
+            part.test_length
+        );
+    }
+
+    // Confirm by simulation: run each session's patterns back to back.
+    let budget_each = 2_000;
+    let mut caught = vec![false; faults.len()];
+    for (k, part) in parts.parts.iter().enumerate() {
+        let result = fault_coverage(
+            &circuit,
+            &faults,
+            WeightedPatterns::new(part.weights.clone(), 31 + k as u64),
+            budget_each,
+            true,
+        );
+        for (i, d) in result.detected_at().iter().enumerate() {
+            caught[i] |= d.is_some();
+        }
+    }
+    println!();
+    println!(
+        "simulation with {budget_each} patterns per session: {}/{} conflict faults detected",
+        caught.iter().filter(|&&c| c).count(),
+        caught.len()
+    );
+}

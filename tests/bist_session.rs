@@ -1,0 +1,59 @@
+//! Hardware-path integration: optimizer output driving a weighted-LFSR
+//! self-test session with signature compaction.
+
+use wrt::prelude::*;
+
+#[test]
+fn optimized_weighted_lfsr_self_test_beats_flat_lfsr() {
+    let circuit = wrt::workloads::c2670ish();
+    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+    let mut engine = CopEngine::new();
+    let optimized = optimize(&circuit, &faults, &mut engine, &OptimizeConfig::default());
+
+    let patterns = 3000;
+    let weighted = {
+        let generator = WeightedLfsr::from_weights(&optimized.weights, 5, 0xF00D);
+        SelfTestSession::new(&circuit, generator).run(&faults, patterns)
+    };
+    let flat = {
+        let generator = WeightedLfsr::from_weights(&vec![0.5; circuit.num_inputs()], 5, 0xF00D);
+        SelfTestSession::new(&circuit, generator).run(&faults, patterns)
+    };
+    assert!(
+        weighted.coverage() > flat.coverage(),
+        "weighted {} vs flat {}",
+        weighted.coverage(),
+        flat.coverage()
+    );
+    assert!(
+        weighted.coverage() > 0.95,
+        "weighted coverage {}",
+        weighted.coverage()
+    );
+}
+
+#[test]
+fn dyadic_quantization_error_is_bounded() {
+    // 5 AND-able bits: every weight in [0.03125, 0.96875] is within 0.22
+    // of a realizable dyadic value; typical optimizer outputs much closer.
+    let circuit = wrt::workloads::s1();
+    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+    let mut engine = CopEngine::new();
+    let optimized = optimize(&circuit, &faults, &mut engine, &OptimizeConfig::default());
+    let generator = WeightedLfsr::from_weights(&optimized.weights, 5, 1);
+    assert!(generator.quantization_error(&optimized.weights) <= 0.25);
+}
+
+#[test]
+fn signatures_are_reproducible_across_sessions() {
+    let circuit = wrt::workloads::c880ish();
+    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+    let run = || {
+        let generator = WeightedLfsr::from_weights(&vec![0.5; circuit.num_inputs()], 4, 77);
+        SelfTestSession::new(&circuit, generator).run(&faults, 512)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.golden_signature, b.golden_signature);
+    assert_eq!(a.caught, b.caught);
+}

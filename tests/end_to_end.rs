@@ -1,0 +1,104 @@
+//! End-to-end reproduction of the paper's S1 narrative: the comparator is
+//! hopeless under conventional random patterns and fully testable under
+//! optimized ones.
+
+use wrt::prelude::*;
+
+fn s1_setup() -> (wrt::circuit::Circuit, FaultList) {
+    let circuit = wrt::workloads::s1();
+    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+    (circuit, faults)
+}
+
+#[test]
+fn s1_conventional_random_test_is_hopeless() {
+    let (circuit, faults) = s1_setup();
+    let mut engine = CopEngine::new();
+    let probs = engine.estimate(&circuit, &faults, &vec![0.5; circuit.num_inputs()]);
+    let detectable: Vec<f64> = probs.into_iter().filter(|&p| p > 0.0).collect();
+    let n = required_test_length(&detectable, 1e-3).patterns();
+    // The AEQB cone forces ~2^-24 probabilities: hundreds of millions of
+    // patterns, exactly the paper's Table 1 regime.
+    assert!(n > 1e8, "N = {n}");
+}
+
+#[test]
+fn s1_optimization_gains_orders_of_magnitude_and_simulation_confirms() {
+    let (circuit, faults) = s1_setup();
+    let mut engine = CopEngine::new();
+    let result = optimize(&circuit, &faults, &mut engine, &OptimizeConfig::default());
+    assert!(
+        result.improvement_factor() > 1e3,
+        "factor {}",
+        result.improvement_factor()
+    );
+    assert!(result.final_length < 1e6, "final {}", result.final_length);
+
+    // Table 2 vs Table 4 in miniature (2000 patterns to keep debug-mode
+    // test times reasonable).
+    let patterns = 2000;
+    let conventional = fault_coverage(
+        &circuit,
+        &faults,
+        WeightedPatterns::equiprobable(circuit.num_inputs(), 11),
+        patterns,
+        true,
+    );
+    let weights = quantize_weights(&result.weights, 0.05);
+    let optimized = fault_coverage(
+        &circuit,
+        &faults,
+        WeightedPatterns::new(weights, 11),
+        patterns,
+        true,
+    );
+    // 2000 patterns is an order below the optimized full-confidence
+    // length (~4·10^4), so expect high-but-not-complete coverage.
+    assert!(
+        optimized.coverage() > 0.93,
+        "optimized coverage {}",
+        optimized.coverage()
+    );
+    assert!(
+        optimized.coverage() > conventional.coverage() + 0.2,
+        "optimized {} vs conventional {}",
+        optimized.coverage(),
+        conventional.coverage()
+    );
+}
+
+#[test]
+fn optimized_weights_are_asymmetric_like_the_appendix() {
+    // The paper's appendix lists strongly biased values (0.05 … 0.95);
+    // a successful optimization of S1 must leave the equiprobable point.
+    let (circuit, faults) = s1_setup();
+    let mut engine = CopEngine::new();
+    let result = optimize(&circuit, &faults, &mut engine, &OptimizeConfig::default());
+    let extreme = result
+        .weights
+        .iter()
+        .filter(|&&w| !(0.2..=0.8).contains(&w))
+        .count();
+    assert!(
+        extreme > circuit.num_inputs() / 2,
+        "only {extreme} extreme weights"
+    );
+}
+
+#[test]
+fn bench_roundtrip_preserves_optimization_results() {
+    // Serialize S1 to .bench, parse it back, and confirm the testability
+    // analysis is unchanged (the interchange format is lossless for the
+    // whole pipeline).
+    let (circuit, faults) = s1_setup();
+    let text = wrt::circuit::to_bench(&circuit);
+    let reparsed = wrt::circuit::parse_bench(&text).expect("roundtrip parses");
+    let faults2 = FaultList::checkpoints(&reparsed).collapse_equivalent(&reparsed);
+    assert_eq!(faults.len(), faults2.len());
+    let mut engine = CopEngine::new();
+    let p1 = engine.estimate(&circuit, &faults, &vec![0.5; circuit.num_inputs()]);
+    let p2 = engine.estimate(&reparsed, &faults2, &vec![0.5; reparsed.num_inputs()]);
+    let h1 = p1.iter().copied().fold(f64::INFINITY, f64::min);
+    let h2 = p2.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!((h1 - h2).abs() < 1e-15, "{h1} vs {h2}");
+}

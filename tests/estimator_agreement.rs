@@ -1,0 +1,108 @@
+//! Cross-engine validation: the four detection-probability engines must
+//! agree with each other (and with ground truth) within their advertised
+//! error regimes.
+
+use wrt::prelude::*;
+use wrt_estimate::signal_probability_bounds;
+
+/// A reconvergent but small circuit: every engine can handle it and the
+/// exact engine provides ground truth.
+fn small_circuit() -> wrt::circuit::Circuit {
+    wrt::circuit::parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n\
+         OUTPUT(y)\nOUTPUT(z)\n\
+         m = NAND(a, b)\nn = NOR(c, d)\nx = XOR(m, n)\n\
+         y = AND(x, e)\nz = OR(x, a)\n",
+    )
+    .expect("valid netlist")
+}
+
+#[test]
+fn monte_carlo_tracks_exact_within_sampling_noise() {
+    let circuit = small_circuit();
+    let faults = FaultList::full(&circuit);
+    let probs = vec![0.3, 0.7, 0.5, 0.4, 0.6];
+    let exact = ExactEngine::new(8).estimate(&circuit, &faults, &probs);
+    let mc = MonteCarloEngine::new(64 * 512, 3).estimate(&circuit, &faults, &probs);
+    for (i, (e, m)) in exact.iter().zip(&mc).enumerate() {
+        assert!(
+            (e - m).abs() < 0.04,
+            "fault {i}: exact {e} vs monte-carlo {m}"
+        );
+    }
+}
+
+#[test]
+fn stafan_and_cop_are_reasonable_heuristics_here() {
+    let circuit = small_circuit();
+    let faults = FaultList::full(&circuit);
+    let probs = vec![0.5; 5];
+    let exact = ExactEngine::new(8).estimate(&circuit, &faults, &probs);
+    let cop = CopEngine::new().estimate(&circuit, &faults, &probs);
+    let stafan = StafanEngine::new(64 * 512, 5).estimate(&circuit, &faults, &probs);
+    for (i, ((e, c), s)) in exact.iter().zip(&cop).zip(&stafan).enumerate() {
+        // Heuristics: allow a generous but bounded error.
+        assert!((e - c).abs() < 0.35, "fault {i}: exact {e} vs cop {c}");
+        assert!((e - s).abs() < 0.35, "fault {i}: exact {e} vs stafan {s}");
+    }
+}
+
+#[test]
+fn cutting_bounds_bracket_monte_carlo_signal_estimates() {
+    let circuit = wrt::workloads::c432ish();
+    let probs = vec![0.5; circuit.num_inputs()];
+    let bounds = signal_probability_bounds(&circuit, &probs);
+
+    // Estimate signal probabilities by simulation.
+    let mut sim = LogicSim::new(&circuit);
+    let mut source = WeightedPatterns::equiprobable(circuit.num_inputs(), 9);
+    let blocks = 400u32;
+    let mut ones = vec![0u64; circuit.num_nodes()];
+    for _ in 0..blocks {
+        let block = source.next_block(64);
+        sim.run(&block.words);
+        for id in circuit.ids() {
+            ones[id.index()] += u64::from(sim.value(id).count_ones());
+        }
+    }
+    let total = f64::from(blocks) * 64.0;
+    for id in circuit.ids() {
+        let measured = ones[id.index()] as f64 / total;
+        let interval = bounds.interval(id);
+        // Allow 3-sigma sampling noise outside the guaranteed interval.
+        let slack = 3.0 * (0.25 / total).sqrt();
+        assert!(
+            measured >= interval.lo - slack && measured <= interval.hi + slack,
+            "node {id}: measured {measured} outside [{}, {}]",
+            interval.lo,
+            interval.hi
+        );
+    }
+}
+
+#[test]
+fn engines_rank_hard_faults_consistently() {
+    // On the adder/comparator, every engine must agree that the
+    // comparator-cone faults are the hardest ones.
+    let circuit = wrt::workloads::c2670ish();
+    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+    let probs = vec![0.5; circuit.num_inputs()];
+    let cop = CopEngine::new().estimate(&circuit, &faults, &probs);
+    let stafan = StafanEngine::new(64 * 128, 17).estimate(&circuit, &faults, &probs);
+
+    let hardest_cop: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..cop.len()).collect();
+        idx.sort_by(|&a, &b| cop[a].total_cmp(&cop[b]));
+        idx.into_iter().take(10).collect()
+    };
+    // STAFAN must also consider those faults hard (estimate below 1e-3;
+    // their true probability is ~2^-20).
+    for &k in &hardest_cop {
+        assert!(
+            stafan[k] < 1e-3,
+            "fault {k}: cop {} stafan {}",
+            cop[k],
+            stafan[k]
+        );
+    }
+}
