@@ -122,6 +122,9 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 pub fn optimize(args: &[String]) -> Result<(), String> {
     let circuit = circuit_arg(args)?;
     let grid: f64 = parse_flag(args, "--grid", 0.05)?;
+    if !(grid > 0.0 && grid < 0.5) {
+        return Err("--grid is a spacing in (0, 0.5), e.g. 0.05".into());
+    }
     let confidence: f64 = parse_flag(args, "--confidence", 0.999)?;
     if !(0.0..1.0).contains(&confidence) || confidence <= 0.0 {
         return Err("--confidence must be in (0, 1)".into());

@@ -1,0 +1,72 @@
+//! Smoke test over the whole workload registry: every built-in circuit
+//! must build, levelize, survive a `.bench` write/parse round trip, and
+//! report internally consistent [`CircuitStats`] — one guard for all
+//! twelve generators at once.
+
+use wrt::circuit::{parse_bench_named, to_bench, CircuitStats};
+use wrt::workloads::{all_paper_circuits, by_name, starred_circuits, WORKLOAD_NAMES};
+
+#[test]
+fn every_registry_circuit_builds_levelizes_and_round_trips() {
+    assert_eq!(WORKLOAD_NAMES.len(), 12, "the paper evaluates twelve circuits");
+    for name in WORKLOAD_NAMES {
+        let circuit = by_name(name).unwrap_or_else(|| panic!("{name} not registered"));
+        assert_eq!(circuit.name(), name);
+
+        // Structural sanity.
+        assert!(circuit.num_inputs() > 0, "{name}: no primary inputs");
+        assert!(circuit.num_outputs() > 0, "{name}: no primary outputs");
+        assert!(circuit.num_gates() > 0, "{name}: no gates");
+
+        // Levelization: every gate sits strictly above all of its fanin,
+        // and the recorded depth is the maximum level.
+        let levels = circuit.levels();
+        let mut max_level = 0;
+        for (id, node) in circuit.iter() {
+            max_level = max_level.max(levels.level(id));
+            for &f in node.fanin() {
+                assert!(
+                    levels.level(f) < levels.level(id),
+                    "{name}: node {id} at level {} has fanin {f} at level {}",
+                    levels.level(id),
+                    levels.level(f)
+                );
+            }
+        }
+        assert_eq!(levels.depth(), max_level, "{name}: depth mismatch");
+
+        // Stats consistency.
+        let stats = CircuitStats::of(&circuit);
+        assert_eq!(stats.name, name);
+        assert_eq!(stats.inputs, circuit.num_inputs(), "{name}: input count");
+        assert_eq!(stats.outputs, circuit.num_outputs(), "{name}: output count");
+        assert_eq!(stats.gates, circuit.num_gates(), "{name}: gate count");
+        assert_eq!(stats.nodes, circuit.num_nodes(), "{name}: node count");
+        assert_eq!(stats.depth, levels.depth(), "{name}: stats depth");
+        assert_eq!(stats.stems, circuit.fanout_stems().len(), "{name}: stems");
+        let by_kind_total: usize = stats.by_kind.values().sum();
+        assert_eq!(by_kind_total, stats.gates, "{name}: by_kind must sum to gates");
+
+        // `.bench` write → parse round trip preserves the structure.
+        let text = to_bench(&circuit);
+        let reparsed = parse_bench_named(&text, name)
+            .unwrap_or_else(|e| panic!("{name}: failed to reparse own .bench: {e}"));
+        assert_eq!(reparsed.num_inputs(), circuit.num_inputs(), "{name}: reparse inputs");
+        assert_eq!(reparsed.num_outputs(), circuit.num_outputs(), "{name}: reparse outputs");
+        assert_eq!(reparsed.num_gates(), circuit.num_gates(), "{name}: reparse gates");
+    }
+}
+
+#[test]
+fn registry_collections_are_consistent() {
+    let all = all_paper_circuits();
+    assert_eq!(all.len(), WORKLOAD_NAMES.len());
+    for (circuit, name) in all.iter().zip(WORKLOAD_NAMES) {
+        assert_eq!(circuit.name(), name);
+    }
+    // Starred circuits are drawn from the registry by the same generators.
+    for starred in starred_circuits() {
+        let again = by_name(starred.name()).expect("starred name registered");
+        assert_eq!(again.num_nodes(), starred.num_nodes());
+    }
+}

@@ -1,0 +1,291 @@
+//! Miniature, offline, API-compatible subset of the `criterion` crate.
+//!
+//! Covers the surface used by the `wrt` benches: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `throughput` /
+//! `finish`, [`Bencher::iter`], [`BenchmarkId`], and [`Throughput`].
+//! Reports median and mean wall-clock time per iteration (and derived
+//! element throughput) — sufficient for relative comparisons, without the
+//! real crate's statistical analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (split across samples).
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10, filters: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Picks up substring filters from the command line, so
+    /// `cargo bench -- <name>` runs only matching benchmarks (flags such
+    /// as cargo's own `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            run_benchmark(id, self.samples, None, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            throughput: None,
+            parent: self,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares work-per-iteration so a rate can be reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<ID, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.parent.matches(&full) {
+            run_benchmark(&full, self.samples, self.throughput, f);
+        }
+        self
+    }
+
+    /// Runs one benchmark receiving an input by reference.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.parent.matches(&full) {
+            run_benchmark(&full, self.samples, self.throughput, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier with a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into the string id used for reporting.
+pub trait IntoBenchmarkId {
+    /// The full id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: run single iterations until the warmup budget is spent to
+    // estimate the per-iteration cost.
+    let calib_start = Instant::now();
+    let mut calib_iters = 0u32;
+    while calib_start.elapsed() < WARMUP_BUDGET && calib_iters < 1_000 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        calib_iters += 1;
+    }
+    let per_iter = calib_start.elapsed() / calib_iters.max(1);
+
+    // Split the measurement budget into `samples` timed batches.
+    let per_sample = MEASURE_BUDGET / samples as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed / iters as u32);
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  thrpt: {} elem/s", human_count(per_sec))
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  thrpt: {}B/s", human_count(per_sec))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<56} time: [median {} mean {}] ({} iter × {} samples){rate}",
+        human_time(median),
+        human_time(mean),
+        iters,
+        samples,
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Groups benchmark functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Miniature, offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements exactly the surface used by the `wrt` workspace: the
+//! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], the
+//! [`Strategy`] trait with `prop_map`, [`any`], `collection::vec`,
+//! `sample::select`, [`Just`], and range strategies for integers and
+//! floats.  Inputs are generated from a deterministic per-test RNG; there
+//! is no shrinking — failing cases print the generated inputs instead.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+/// Everything a property test module needs, importable in one line.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    /// Alias so `prop::sample::select` and friends resolve as in the real
+    /// crate's prelude.
+    pub use crate as prop;
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0usize..100, ys in proptest::collection::vec(any::<bool>(), 3)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                // Build the strategies once; a tuple of strategies is
+                // itself a strategy producing the input tuple.
+                let strategy = ($(($strat),)+);
+                for case in 0..config.cases {
+                    // Snapshot so a failing case can be re-generated for
+                    // display without Debug-formatting every passing one.
+                    let rng_before = rng.clone();
+                    let ($($pat,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> $crate::TestCaseResult { $body Ok(()) }),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(err)) => {
+                            let mut replay = rng_before;
+                            panic!(
+                                "proptest case {}/{} failed: {}\ninputs: {:?}",
+                                case + 1, config.cases, err,
+                                $crate::Strategy::generate(&strategy, &mut replay)
+                            );
+                        }
+                        Err(payload) => {
+                            let mut replay = rng_before;
+                            eprintln!(
+                                "proptest case {}/{} panicked\ninputs: {:?}",
+                                case + 1, config.cases,
+                                $crate::Strategy::generate(&strategy, &mut replay)
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the generated inputs echoed) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
