@@ -39,15 +39,6 @@ impl Tri {
         }
     }
 
-    /// Three-valued negation.
-    pub fn not(self) -> Self {
-        match self {
-            Tri::Zero => Tri::One,
-            Tri::One => Tri::Zero,
-            Tri::X => Tri::X,
-        }
-    }
-
     fn and(self, other: Tri) -> Tri {
         match (self, other) {
             (Tri::Zero, _) | (_, Tri::Zero) => Tri::Zero,
@@ -68,6 +59,19 @@ impl Tri {
         match (self.value(), other.value()) {
             (Some(a), Some(b)) => Tri::known(a ^ b),
             _ => Tri::X,
+        }
+    }
+}
+
+impl std::ops::Not for Tri {
+    type Output = Tri;
+
+    /// Three-valued negation (`X` stays `X`).
+    fn not(self) -> Tri {
+        match self {
+            Tri::Zero => Tri::One,
+            Tri::One => Tri::Zero,
+            Tri::X => Tri::X,
         }
     }
 }
@@ -139,14 +143,6 @@ impl Dv {
         self.good == Tri::X || self.faulty == Tri::X
     }
 
-    /// Negation in both machines.
-    pub fn not(self) -> Self {
-        Dv {
-            good: self.good.not(),
-            faulty: self.faulty.not(),
-        }
-    }
-
     /// Componentwise AND.
     pub fn and(self, other: Dv) -> Self {
         Dv {
@@ -168,6 +164,18 @@ impl Dv {
         Dv {
             good: self.good.xor(other.good),
             faulty: self.faulty.xor(other.faulty),
+        }
+    }
+}
+
+impl std::ops::Not for Dv {
+    type Output = Dv;
+
+    /// Negation in both machines (`NOT D = D̄`).
+    fn not(self) -> Dv {
+        Dv {
+            good: !self.good,
+            faulty: !self.faulty,
         }
     }
 }
@@ -198,7 +206,7 @@ mod tests {
         assert_eq!(d.or(one), one);
         assert_eq!(d.or(zero), d);
         // NOT D = D'.
-        assert_eq!(d.not(), Dv::dbar());
+        assert_eq!(!d, Dv::dbar());
         // D AND D' = 0; D OR D' = 1; D XOR D' = 1; D XOR D = 0.
         assert_eq!(d.and(Dv::dbar()), zero);
         assert_eq!(d.or(Dv::dbar()), one);

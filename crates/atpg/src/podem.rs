@@ -128,7 +128,7 @@ impl<'c> Podem<'c> {
                             }
                             Some((pi, true)) => assignment[pi] = Tri::X,
                             Some((pi, false)) => {
-                                assignment[pi] = assignment[pi].not();
+                                assignment[pi] = !assignment[pi];
                                 stack.push((pi, true));
                                 break;
                             }
@@ -180,7 +180,7 @@ impl<'c> Podem<'c> {
                     }
                     let mut out = acc.expect("gates have fanin");
                     if kind.is_inverting() {
-                        out = out.not();
+                        out = !out;
                     }
                     if effect_on_input && out.is_unknown() {
                         frontier.push(id);

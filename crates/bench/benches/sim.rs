@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wrt_fault::FaultList;
-use wrt_sim::{fault_coverage, LogicSim, PatternSource, WeightedPatterns};
+use wrt_sim::{
+    fault_coverage, fault_coverage_sharded, LogicSim, PatternSource, WeightedPatterns,
+};
 
 fn logic_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("logic_sim");
@@ -48,5 +50,36 @@ fn fault_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, logic_sim, fault_sim);
+/// Serial vs sharded PPSFP on the largest workload circuits: the fault
+/// list is split into cone-locality-aware shards, one worker thread each
+/// (results are bit-identical; only the wall clock changes).
+fn sharded_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_fault_sim");
+    group.sample_size(10);
+    for name in ["c2670ish", "c7552ish"] {
+        let circuit = wrt_workloads::by_name(name).expect("registered");
+        let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+        let patterns = 1024u64;
+        group.throughput(Throughput::Elements(patterns * faults.len() as u64));
+        group.bench_function(BenchmarkId::new("serial", name), |b| {
+            b.iter(|| {
+                let source = WeightedPatterns::equiprobable(circuit.num_inputs(), 7);
+                black_box(fault_coverage(&circuit, &faults, source, patterns, true))
+            });
+        });
+        for threads in [2usize, 4, 8] {
+            group.bench_function(BenchmarkId::new(format!("sharded{threads}"), name), |b| {
+                b.iter(|| {
+                    let source = WeightedPatterns::equiprobable(circuit.num_inputs(), 7);
+                    black_box(fault_coverage_sharded(
+                        &circuit, &faults, source, patterns, true, threads,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, logic_sim, fault_sim, sharded_fault_sim);
 criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Machine-readable PPSFP throughput benchmark: serial vs sharded.
+//!
+//! Writes `BENCH_sim.json` (circuit, fault count, patterns/sec for the
+//! serial and sharded engines, thread count, speedup, and a bit-identity
+//! check), so the perf trajectory of the fault simulator is tracked in a
+//! machine-readable artifact from PR to PR.
+//!
+//! Run with `cargo run --release -p wrt-bench --bin bench_sim`.
+//!
+//! ```text
+//! bench_sim [--patterns N] [--threads T] [--circuits a,b,...] [--out PATH]
+//! ```
+//!
+//! Defaults: 2048 patterns, 4 threads, the two largest workload circuits,
+//! `BENCH_sim.json` in the current directory.
+
+use std::time::Instant;
+
+use wrt_circuit::Circuit;
+use wrt_fault::FaultList;
+use wrt_sim::{available_threads, fault_coverage, fault_coverage_sharded, WeightedPatterns};
+
+const SEED: u64 = 0xC0DE;
+
+struct Row {
+    circuit: String,
+    inputs: usize,
+    gates: usize,
+    faults: usize,
+    patterns: u64,
+    threads: usize,
+    serial_seconds: f64,
+    sharded_seconds: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn serial_pps(&self) -> f64 {
+        self.patterns as f64 / self.serial_seconds
+    }
+
+    fn sharded_pps(&self) -> f64 {
+        self.patterns as f64 / self.sharded_seconds
+    }
+
+    fn speedup(&self) -> f64 {
+        self.serial_seconds / self.sharded_seconds
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\n      \"circuit\": \"{}\",\n      \"inputs\": {},\n      \"gates\": {},\n      \"faults\": {},\n      \"patterns\": {},\n      \"threads\": {},\n      \"serial_seconds\": {:.6},\n      \"sharded_seconds\": {:.6},\n      \"serial_patterns_per_sec\": {:.1},\n      \"sharded_patterns_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"bit_identical\": {}\n    }}",
+            self.circuit,
+            self.inputs,
+            self.gates,
+            self.faults,
+            self.patterns,
+            self.threads,
+            self.serial_seconds,
+            self.sharded_seconds,
+            self.serial_pps(),
+            self.sharded_pps(),
+            self.speedup(),
+            self.identical,
+        )
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds for `f` (one warm-up run).
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut result = f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn bench_circuit(circuit: &Circuit, patterns: u64, threads: usize) -> Row {
+    let faults = FaultList::checkpoints(circuit).collapse_equivalent(circuit);
+    let source = || WeightedPatterns::equiprobable(circuit.num_inputs(), SEED);
+    let (serial_seconds, serial) =
+        time_best(2, || fault_coverage(circuit, &faults, source(), patterns, true));
+    let (sharded_seconds, sharded) = time_best(2, || {
+        fault_coverage_sharded(circuit, &faults, source(), patterns, true, threads)
+    });
+    Row {
+        circuit: circuit.name().to_string(),
+        inputs: circuit.num_inputs(),
+        gates: circuit.num_gates(),
+        faults: faults.len(),
+        patterns,
+        threads,
+        serial_seconds,
+        sharded_seconds,
+        identical: serial.detected_at() == sharded.detected_at(),
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let patterns: u64 = flag(&args, "--patterns")
+        .map(|v| v.parse().expect("--patterns N"))
+        .unwrap_or(2048);
+    let threads: usize = flag(&args, "--threads")
+        .map(|v| v.parse().expect("--threads T"))
+        .unwrap_or(4);
+    let out = flag(&args, "--out").unwrap_or("BENCH_sim.json").to_string();
+    let circuits: Vec<String> = flag(&args, "--circuits")
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| vec!["c5315ish".into(), "c6288ish".into(), "c7552ish".into()]);
+
+    println!(
+        "PPSFP serial vs sharded ({patterns} patterns, {threads} threads, \
+         {} cores available)",
+        available_threads()
+    );
+    let mut rows = Vec::new();
+    for name in &circuits {
+        let circuit = wrt_workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+        let row = bench_circuit(&circuit, patterns, threads);
+        println!(
+            "  {:<10} {:>6} faults  serial {:>10.1} pat/s  sharded {:>10.1} pat/s  \
+             speedup {:.2}x  identical {}",
+            row.circuit,
+            row.faults,
+            row.serial_pps(),
+            row.sharded_pps(),
+            row.speedup(),
+            row.identical,
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"ppsfp_serial_vs_sharded\",\n  \"patterns\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        patterns,
+        threads,
+        available_threads(),
+        body.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write BENCH_sim.json");
+    println!("wrote {out}");
+}

@@ -13,7 +13,7 @@ use wrt_circuit::Circuit;
 use wrt_core::{optimize, OptimizeConfig, OptimizeResult, TestLength};
 use wrt_estimate::{constant_line_faults, CopEngine, DetectionProbabilityEngine};
 use wrt_fault::FaultList;
-use wrt_sim::{fault_coverage, CoverageResult, WeightedPatterns};
+use wrt_sim::{fault_coverage, fault_coverage_sharded, CoverageResult, WeightedPatterns};
 
 /// Upper bound on the exact-enumeration support used for redundancy
 /// proofs during fault-list preparation.
@@ -73,6 +73,20 @@ pub fn simulate_coverage(
 ) -> CoverageResult {
     let source = WeightedPatterns::new(weights.to_vec(), seed);
     fault_coverage(circuit, faults, source, patterns, true)
+}
+
+/// Like [`simulate_coverage`] but fanned out over the sharded PPSFP
+/// engine (`threads = 0` uses all cores).  Bit-identical results.
+pub fn simulate_coverage_threaded(
+    circuit: &Circuit,
+    faults: &FaultList,
+    weights: &[f64],
+    patterns: u64,
+    seed: u64,
+    threads: usize,
+) -> CoverageResult {
+    let source = WeightedPatterns::new(weights.to_vec(), seed);
+    fault_coverage_sharded(circuit, faults, source, patterns, true, threads)
 }
 
 /// Formats a pattern count the way the paper prints Table 1

@@ -3,21 +3,29 @@
 use wrt_atpg::{generate_tests, AtpgConfig};
 use wrt_circuit::{Circuit, CircuitStats};
 use wrt_core::{quantize_weights, required_test_length, OptimizeConfig};
-use wrt_estimate::{constant_line_faults, CopEngine, DetectionProbabilityEngine};
+use wrt_estimate::{
+    constant_line_faults, CopEngine, DetectionProbabilityEngine, MonteCarloEngine, StafanEngine,
+};
 use wrt_fault::FaultList;
-use wrt_sim::{fault_coverage, WeightedPatterns};
+use wrt_sim::{fault_coverage_sharded, WeightedPatterns};
 
 pub const USAGE: &str = "usage: wrt <command> [args]
 
 commands:
   stats    <circuit>                              circuit statistics
   analyze  <circuit>                              testability report
-  optimize <circuit> [--grid G] [--confidence C]  optimized input probabilities
-  simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S]
+  optimize <circuit> [--grid G] [--confidence C] [--engine E] [--threads T]
+           [--seed S] [--mc-patterns N]
+           optimized input probabilities; E = cop (default) | stafan | monte-carlo
+           (--seed and --mc-patterns apply to the sampling engines)
+  simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
   atpg     <circuit> [--backtracks B]             deterministic test generation
   workloads                                       list built-in circuits
 
-<circuit> is a workload name (see `wrt workloads`) or a .bench file path.";
+<circuit> is a workload name (see `wrt workloads`) or a .bench file path.
+--threads T runs PPSFP fault simulation on T sharded worker threads
+(default: auto; results are identical for any T).  For optimize it
+requires --engine monte-carlo, the engine that fault-simulates.";
 
 fn load_circuit(arg: &str) -> Result<Circuit, String> {
     if let Some(circuit) = wrt_workloads::by_name(arg) {
@@ -119,6 +127,43 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the detection-probability engine selected by `--engine`,
+/// threading `--threads` into the Monte-Carlo simulation path.
+///
+/// Sampling-only flags are rejected for engines that cannot honor them,
+/// instead of being silently ignored.
+fn engine_arg(args: &[String]) -> Result<Box<dyn DetectionProbabilityEngine>, String> {
+    let engine = flag_value(args, "--engine").unwrap_or("cop");
+    if !["cop", "stafan", "monte-carlo"].contains(&engine) {
+        return Err(format!(
+            "unknown engine `{engine}` (expected cop, stafan, or monte-carlo)"
+        ));
+    }
+    if engine != "monte-carlo" {
+        for flag in ["--threads", "--mc-patterns"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!(
+                    "{flag} only applies to fault-simulating engines; add --engine monte-carlo"
+                ));
+            }
+        }
+    }
+    if engine == "cop" && flag_value(args, "--seed").is_some() {
+        return Err("--seed only applies to sampling engines (stafan, monte-carlo)".into());
+    }
+    let threads: usize = parse_flag(args, "--threads", 0)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    Ok(match engine {
+        "cop" => Box::new(CopEngine::new()),
+        "stafan" => Box::new(StafanEngine::new(64 * 256, seed)),
+        "monte-carlo" => {
+            let patterns: u64 = parse_flag(args, "--mc-patterns", 64 * 256)?;
+            Box::new(MonteCarloEngine::new(patterns, seed).with_threads(threads))
+        }
+        _ => unreachable!("engine name validated above"),
+    })
+}
+
 pub fn optimize(args: &[String]) -> Result<(), String> {
     let circuit = circuit_arg(args)?;
     let grid: f64 = parse_flag(args, "--grid", 0.05)?;
@@ -134,8 +179,8 @@ pub fn optimize(args: &[String]) -> Result<(), String> {
         confidence,
         ..OptimizeConfig::default()
     };
-    let mut engine = CopEngine::new();
-    let result = wrt_core::optimize(&circuit, &faults, &mut engine, &config);
+    let mut engine = engine_arg(args)?;
+    let result = wrt_core::optimize(&circuit, &faults, engine.as_mut(), &config);
     println!(
         "test length: {:.3e} -> {:.3e}  (factor {:.1}, {} sweeps, {} engine calls)",
         result.initial_length,
@@ -174,13 +219,15 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             parsed
         }
     };
+    let threads: usize = parse_flag(args, "--threads", 0)?;
     let faults = experiment_faults(&circuit);
-    let result = fault_coverage(
+    let result = fault_coverage_sharded(
         &circuit,
         &faults,
         WeightedPatterns::new(weights, seed),
         patterns,
         true,
+        threads,
     );
     println!("{result}");
     Ok(())
@@ -261,5 +308,35 @@ mod tests {
     fn simulate_rejects_wrong_weight_count() {
         let a = args(&["c880ish", "--patterns", "64", "--weights", "0.5,0.5"]);
         assert!(simulate(&a).is_err());
+    }
+
+    #[test]
+    fn simulate_accepts_thread_counts() {
+        for t in ["1", "2", "0"] {
+            let a = args(&["c880ish", "--patterns", "256", "--threads", t]);
+            assert!(simulate(&a).is_ok(), "--threads {t}");
+        }
+    }
+
+    #[test]
+    fn engine_selection() {
+        assert_eq!(engine_arg(&args(&[])).unwrap().name(), "cop");
+        assert_eq!(engine_arg(&args(&["--engine", "cop"])).unwrap().name(), "cop");
+        assert_eq!(
+            engine_arg(&args(&["--engine", "stafan"])).unwrap().name(),
+            "stafan"
+        );
+        assert_eq!(
+            engine_arg(&args(&["--engine", "monte-carlo", "--threads", "2"]))
+                .unwrap()
+                .name(),
+            "monte-carlo"
+        );
+        assert!(engine_arg(&args(&["--engine", "psychic"])).is_err());
+        // Sampling-only flags are rejected rather than silently ignored.
+        assert!(engine_arg(&args(&["--threads", "4"])).is_err());
+        assert!(engine_arg(&args(&["--engine", "stafan", "--mc-patterns", "64"])).is_err());
+        assert!(engine_arg(&args(&["--seed", "7"])).is_err());
+        assert!(engine_arg(&args(&["--engine", "stafan", "--seed", "7"])).is_ok());
     }
 }

@@ -5,7 +5,9 @@
 //! wrt stats    <netlist.bench | workload>          circuit statistics
 //! wrt analyze  <netlist.bench | workload>          testability report
 //! wrt optimize <netlist.bench | workload> [--grid G] [--confidence C]
+//!              [--engine cop|stafan|monte-carlo] [--threads T]
 //! wrt simulate <netlist.bench | workload> --patterns N [--weights w1,w2,…]
+//!              [--threads T]
 //! wrt atpg     <netlist.bench | workload> [--backtracks B]
 //! wrt workloads                                    list built-in circuits
 //! ```

@@ -209,12 +209,14 @@ pub fn optimize(
             .collect();
 
         for i in 0..num_inputs {
-            // PREPARE: engine at x_i = 0 and x_i = 1.
+            // PREPARE: engine at x_i = 0 and x_i = 1, both boundary points
+            // in one engine call so parallel engines (e.g. the sharded
+            // Monte-Carlo simulator) can reuse their fan-out machinery.
             let saved = weights[i];
             weights[i] = 0.0;
-            let p0 = engine.estimate(circuit, &relevant_list, &weights);
+            let at_zero = weights.clone();
             weights[i] = 1.0;
-            let p1 = engine.estimate(circuit, &relevant_list, &weights);
+            let (p0, p1) = engine.estimate_pair(circuit, &relevant_list, &at_zero, &weights);
             engine_calls += 2;
             weights[i] = saved;
             // MINIMIZE (with optional under-relaxation).

@@ -113,7 +113,7 @@ pub fn observabilities_cop(circuit: &Circuit, p: &[f64]) -> (Vec<f64>, Vec<Vec<f
         let o = obs[idx];
         let kind = node.kind();
         let fanin = node.fanin();
-        for pin in 0..fanin.len() {
+        for (pin, slot) in pin_obs[idx].iter_mut().enumerate() {
             let sens = match kind {
                 GateKind::And | GateKind::Nand => fanin
                     .iter()
@@ -132,7 +132,7 @@ pub fn observabilities_cop(circuit: &Circuit, p: &[f64]) -> (Vec<f64>, Vec<Vec<f
                 GateKind::Not | GateKind::Buf => 1.0,
                 GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
             };
-            pin_obs[idx][pin] = o * sens;
+            *slot = o * sens;
         }
     }
     (obs, pin_obs)

@@ -2,7 +2,7 @@
 
 use wrt_circuit::Circuit;
 use wrt_fault::{FaultList, FaultSite};
-use wrt_sim::{detection_counts, WeightedPatterns};
+use wrt_sim::{detection_counts_sharded, WeightedPatterns};
 
 use crate::cop::{observabilities_cop, signal_probabilities_cop};
 use crate::exact::exact_detection_probability;
@@ -28,6 +28,27 @@ pub trait DetectionProbabilityEngine {
     /// Panics if `input_probs.len() != circuit.num_inputs()`.
     fn estimate(&mut self, circuit: &Circuit, faults: &FaultList, input_probs: &[f64])
         -> Vec<f64>;
+
+    /// Estimates detection probabilities at two probability vectors in one
+    /// call — the shape of the optimizer's PREPARE step, which needs
+    /// `p_f(X, x_i = 0)` and `p_f(X, x_i = 1)` for every coordinate.
+    ///
+    /// The default delegates to two sequential
+    /// [`estimate`](Self::estimate) calls; [`MonteCarloEngine`] overrides
+    /// it to simulate both points concurrently on a split thread budget
+    /// (identical results either way).
+    fn estimate_pair(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        probs_a: &[f64],
+        probs_b: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.estimate(circuit, faults, probs_a),
+            self.estimate(circuit, faults, probs_b),
+        )
+    }
 
     /// Short human-readable engine name for reports.
     fn name(&self) -> &'static str;
@@ -137,23 +158,37 @@ impl DetectionProbabilityEngine for StafanEngine {
 /// sample; the estimate is the observed detection frequency.
 ///
 /// Unbiased but blind to probabilities below `≈ 1 / patterns`.
+///
+/// The simulation fans out over the sharded PPSFP engine
+/// ([`wrt_sim::detection_counts_sharded`]): `threads` worker threads each
+/// own one cone-locality-aware fault shard.  Thread count does not affect
+/// the estimates — the sharded engine is bit-identical to the serial one.
 #[derive(Debug, Clone)]
 pub struct MonteCarloEngine {
     /// Number of simulated patterns per call.
     pub patterns: u64,
     /// Base RNG seed (each call derives a fresh stream).
     pub seed: u64,
+    /// Fault-simulation worker threads (`1` = serial, `0` = all cores).
+    pub threads: usize,
     calls: u64,
 }
 
 impl MonteCarloEngine {
-    /// Creates an engine simulating `patterns` patterns per call.
+    /// Creates a serial engine simulating `patterns` patterns per call.
     pub fn new(patterns: u64, seed: u64) -> Self {
         MonteCarloEngine {
             patterns,
             seed,
+            threads: 1,
             calls: 0,
         }
+    }
+
+    /// Sets the fault-simulation thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -169,11 +204,67 @@ impl DetectionProbabilityEngine for MonteCarloEngine {
             input_probs.to_vec(),
             self.seed.wrapping_add(self.calls.wrapping_mul(0x2545_F491)),
         );
-        let counts = detection_counts(circuit, faults, source, self.patterns);
+        let counts =
+            detection_counts_sharded(circuit, faults, source, self.patterns, self.threads);
         counts
             .into_iter()
             .map(|c| c as f64 / self.patterns as f64)
             .collect()
+    }
+
+    /// Simulates both probability vectors concurrently, splitting the
+    /// thread budget between them (each half still shards its fault
+    /// list).  Identical output to two sequential
+    /// [`estimate`](DetectionProbabilityEngine::estimate) calls — the
+    /// per-call seed derivation and the sharded engine's results are
+    /// both independent of the thread count.
+    ///
+    /// With an effective budget of one thread (explicit `threads = 1`,
+    /// or auto mode on a small fault list / single-core machine) it
+    /// stays fully serial.
+    fn estimate_pair(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        probs_a: &[f64],
+        probs_b: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let resolved = wrt_sim::recommended_threads(self.threads, faults.len());
+        if resolved <= 1 {
+            return (
+                self.estimate(circuit, faults, probs_a),
+                self.estimate(circuit, faults, probs_b),
+            );
+        }
+        let patterns = self.patterns;
+        let mut source_for = |probs: &[f64]| {
+            self.calls += 1;
+            WeightedPatterns::new(
+                probs.to_vec(),
+                self.seed.wrapping_add(self.calls.wrapping_mul(0x2545_F491)),
+            )
+        };
+        let source_a = source_for(probs_a);
+        let source_b = source_for(probs_b);
+        // Split the budget without losing the odd thread (e.g. 3 → 2 + 1).
+        let threads_b = (resolved / 2).max(1);
+        let threads_a = (resolved - resolved / 2).max(1);
+        let to_probs = |counts: Vec<u64>| -> Vec<f64> {
+            counts
+                .into_iter()
+                .map(|c| c as f64 / patterns as f64)
+                .collect()
+        };
+        std::thread::scope(|scope| {
+            let b = scope.spawn(|| {
+                detection_counts_sharded(circuit, faults, source_b, patterns, threads_b)
+            });
+            let a = detection_counts_sharded(circuit, faults, source_a, patterns, threads_a);
+            (
+                to_probs(a),
+                to_probs(b.join().expect("estimate_pair worker panicked")),
+            )
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -292,6 +383,51 @@ mod tests {
             assert!(est.iter().all(|p| (0.0..=1.0).contains(p)), "{}", e.name());
             assert!(!e.name().is_empty());
         }
+    }
+
+    #[test]
+    fn monte_carlo_threads_do_not_change_estimates() {
+        let c = tree();
+        let faults = FaultList::full(&c);
+        let probs = [0.4, 0.5, 0.6];
+        let serial = MonteCarloEngine::new(64 * 20, 9).estimate(&c, &faults, &probs);
+        for threads in [0, 2, 4] {
+            let sharded = MonteCarloEngine::new(64 * 20, 9)
+                .with_threads(threads)
+                .estimate(&c, &faults, &probs);
+            assert_eq!(serial, sharded, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_estimate_pair_matches_sequential_calls() {
+        let c = tree();
+        let faults = FaultList::full(&c);
+        let a = [0.3, 0.5, 0.7];
+        let b = [0.7, 0.5, 0.3];
+        // Same engine state (seed, calls): pair == two sequential calls.
+        let mut sequential = MonteCarloEngine::new(64 * 10, 13);
+        let expected = (
+            sequential.estimate(&c, &faults, &a),
+            sequential.estimate(&c, &faults, &b),
+        );
+        for threads in [0, 1, 2, 4] {
+            let mut paired = MonteCarloEngine::new(64 * 10, 13).with_threads(threads);
+            let got = paired.estimate_pair(&c, &faults, &a, &b);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn estimate_pair_matches_two_estimates() {
+        let c = tree();
+        let faults = FaultList::full(&c);
+        let a = [0.2, 0.5, 0.8];
+        let b = [0.8, 0.5, 0.2];
+        let mut engine = CopEngine::new();
+        let (pa, pb) = engine.estimate_pair(&c, &faults, &a, &b);
+        assert_eq!(pa, engine.estimate(&c, &faults, &a));
+        assert_eq!(pb, engine.estimate(&c, &faults, &b));
     }
 
     #[test]

@@ -52,9 +52,10 @@ pub fn constant_line_faults(
                 exact_signal_probability(circuit, driver, &probs, max_support)
             });
             match *entry {
-                Some(p) if p == 0.0 => !fault.stuck_value, // line always 0: s-a-0 redundant
-                Some(p) if p == 1.0 => fault.stuck_value,  // line always 1: s-a-1 redundant
-                _ => false,
+                // A constant line makes the matching-polarity fault
+                // redundant: always-0 proves s-a-0, always-1 proves s-a-1.
+                Some(p) => (p == 0.0 && !fault.stuck_value) || (p == 1.0 && fault.stuck_value),
+                None => false,
             }
         })
         .collect()

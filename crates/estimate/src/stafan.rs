@@ -59,9 +59,9 @@ impl StafanCounts {
             for (id, node) in circuit.iter() {
                 ones[id.index()] += u64::from((sim.value(id) & mask).count_ones());
                 let fanin = node.fanin();
-                for pin in 0..fanin.len() {
+                for (pin, slot) in sensitized[id.index()].iter_mut().enumerate() {
                     let sens = one_level_sensitization(&sim, node.kind(), fanin, pin);
-                    sensitized[id.index()][pin] += u64::from((sens & mask).count_ones());
+                    *slot += u64::from((sens & mask).count_ones());
                 }
             }
             done += u64::from(block.len);

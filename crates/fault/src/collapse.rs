@@ -112,9 +112,9 @@ impl EquivalenceClasses {
 
         let mut classes: HashMap<usize, Vec<FaultId>> = HashMap::new();
         let mut class_of = vec![0usize; n];
-        for i in 0..n {
+        for (i, slot) in class_of.iter_mut().enumerate() {
             let root = uf.find(i);
-            class_of[i] = root;
+            *slot = root;
             classes.entry(root).or_default().push(FaultId::from_index(i));
         }
         EquivalenceClasses {

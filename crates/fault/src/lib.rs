@@ -30,7 +30,9 @@
 mod collapse;
 mod fault;
 mod list;
+mod partition;
 
 pub use collapse::{dominance_collapse, EquivalenceClasses};
 pub use fault::{Fault, FaultSite};
 pub use list::{FaultId, FaultList};
+pub use partition::FaultPartition;

@@ -1,0 +1,264 @@
+//! Partitioning a fault list into shards for parallel fault simulation.
+//!
+//! PPSFP fault simulation is embarrassingly parallel across faults: each
+//! fault's detection words depend only on the fault-free values and its own
+//! output cone.  A [`FaultPartition`] splits a [`FaultList`] into disjoint
+//! shards so every simulation worker owns one shard end to end.
+//!
+//! Shards are *cone-locality-aware*: faults are ordered by their effect
+//! root (node ids are topological), so faults sharing a root — and hence a
+//! simulation cone — land in the same shard and the per-shard cone cache
+//! stays as deduplicated as in the serial simulator.  Shard boundaries are
+//! chosen to balance an estimated propagation cost rather than a raw fault
+//! count, since faults rooted near the primary inputs carry much larger
+//! cones than faults next to the outputs.
+
+use wrt_circuit::{Circuit, NodeId};
+
+use crate::list::{FaultId, FaultList};
+
+/// A disjoint split of one fault list into shards of fault ids.
+///
+/// Every fault of the originating list appears in exactly one shard.
+/// Empty shards are never produced: partitioning a list of `n` faults into
+/// `k > n` shards yields `n` singleton shards.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::parse_bench;
+/// use wrt_fault::{FaultList, FaultPartition};
+///
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let faults = FaultList::full(&c);
+/// let partition = FaultPartition::cone_locality(&c, &faults, 2);
+/// assert_eq!(partition.num_shards(), 2);
+/// let total: usize = partition.shards().map(<[_]>::len).sum();
+/// assert_eq!(total, faults.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPartition {
+    /// Per shard: ids into the originating fault list.
+    shards: Vec<Vec<FaultId>>,
+}
+
+impl FaultPartition {
+    /// Partitions `faults` into at most `num_shards` cone-locality-aware,
+    /// cost-balanced shards.
+    ///
+    /// Faults are sorted by effect root (stable within a root), then cut
+    /// into contiguous runs with approximately equal estimated simulation
+    /// cost, cutting at root boundaries whenever possible so faults that
+    /// share a cone share a shard.  The cost proxy for a fault is the node
+    /// count downstream of its effect root — an upper bound on its cone
+    /// size that needs no cone extraction of its own.
+    ///
+    /// A `num_shards` of 0 is treated as 1.
+    pub fn cone_locality(circuit: &Circuit, faults: &FaultList, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let mut order: Vec<(NodeId, FaultId)> = faults
+            .iter()
+            .map(|(id, f)| (f.site.effect_root(), id))
+            .collect();
+        order.sort_by_key(|&(root, id)| (root, id));
+
+        // Estimated cost of simulating each fault, in sorted order: every
+        // node topologically after the effect root may be in its cone.
+        let weight =
+            |root: NodeId| (circuit.num_nodes() - root.index()) as u64 + 1;
+        let total: u64 = order.iter().map(|&(root, _)| weight(root)).sum();
+
+        let num_shards = num_shards.min(order.len()).max(1);
+        let mut shards: Vec<Vec<FaultId>> = Vec::with_capacity(num_shards);
+        let mut current: Vec<FaultId> = Vec::new();
+        let mut spent = 0u64;
+        for (k, &(root, id)) in order.iter().enumerate() {
+            current.push(id);
+            spent += weight(root);
+            if shards.len() + 1 == num_shards {
+                continue; // the last shard absorbs the tail
+            }
+            // Cut when this shard reached its proportional share of the
+            // total cost — preferably at a root boundary, so faults sharing
+            // a cone stay together — and always early enough that every
+            // remaining shard can still receive at least one fault.
+            let filled = shards.len() as u64 + 1;
+            let target = total * filled / num_shards as u64;
+            let remaining_faults = order.len() - (k + 1);
+            let remaining_shards = num_shards - shards.len() - 1;
+            let at_root_boundary =
+                order.get(k + 1).is_none_or(|&(next, _)| next != root);
+            let must_cut = remaining_faults == remaining_shards;
+            if must_cut || (spent >= target && at_root_boundary && remaining_faults >= remaining_shards)
+            {
+                shards.push(std::mem::take(&mut current));
+                // `spent` accumulates across shards against the shared
+                // prefix target, so do not reset it.
+            }
+        }
+        if !current.is_empty() || shards.is_empty() {
+            shards.push(current);
+        }
+        FaultPartition { shards }
+    }
+
+    /// Partitions `0..num_faults` into round-robin shards, ignoring cone
+    /// structure.  Useful as a locality-blind baseline.
+    pub fn round_robin(num_faults: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.clamp(1, num_faults.max(1));
+        let mut shards: Vec<Vec<FaultId>> = vec![Vec::new(); num_shards];
+        for i in 0..num_faults {
+            shards[i % num_shards].push(FaultId::from_index(i));
+        }
+        shards.retain(|s| !s.is_empty());
+        if shards.is_empty() {
+            shards.push(Vec::new());
+        }
+        FaultPartition { shards }
+    }
+
+    /// Number of shards (≥ 1; at most the requested shard count).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fault ids of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.num_shards()`.
+    pub fn shard(&self, s: usize) -> &[FaultId] {
+        &self.shards[s]
+    }
+
+    /// Iterates over all shards.
+    pub fn shards(&self) -> impl Iterator<Item = &[FaultId]> {
+        self.shards.iter().map(Vec::as_slice)
+    }
+
+    /// Materializes shard `s` of `faults` as its own [`FaultList`]
+    /// (ordered as within the shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the shard references ids outside
+    /// `faults`.
+    pub fn sublist(&self, faults: &FaultList, s: usize) -> FaultList {
+        self.shards[s].iter().map(|&id| faults.fault(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrt_circuit::parse_bench;
+
+    fn chain() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+             g1 = AND(a, b)\ng2 = OR(g1, b)\ng3 = NAND(g2, a)\ny = NOT(g3)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shards_cover_every_fault_exactly_once() {
+        let c = chain();
+        let faults = FaultList::full(&c);
+        for k in [1, 2, 3, 5, 8] {
+            let p = FaultPartition::cone_locality(&c, &faults, k);
+            let mut seen: Vec<FaultId> = p.shards().flatten().copied().collect();
+            seen.sort();
+            let all: Vec<FaultId> = faults.iter().map(|(id, _)| id).collect();
+            assert_eq!(seen, all, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn requested_shard_count_is_respected_when_feasible() {
+        let c = chain();
+        let faults = FaultList::full(&c);
+        for k in 1..=6 {
+            let p = FaultPartition::cone_locality(&c, &faults, k);
+            assert_eq!(p.num_shards(), k, "k = {k}");
+            assert!(p.shards().all(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_faults_degenerates_to_singletons() {
+        let c = chain();
+        let faults = FaultList::primary_inputs(&c); // 4 faults
+        let p = FaultPartition::cone_locality(&c, &faults, 100);
+        assert_eq!(p.num_shards(), faults.len());
+        assert!(p.shards().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn same_effect_root_lands_in_same_shard() {
+        // Both polarities of a stem fault share the root: with 2 shards on
+        // a list made of such pairs, no pair may be split.
+        let c = chain();
+        let faults = FaultList::full(&c);
+        let p = FaultPartition::cone_locality(&c, &faults, 3);
+        for s in 0..p.num_shards() {
+            let sub = p.sublist(&faults, s);
+            // Roots in a shard form a contiguous range of the sorted root
+            // order: every root is >= all roots of earlier shards.
+            let max_prev = (0..s)
+                .flat_map(|t| p.shard(t).iter())
+                .map(|&id| faults.fault(id).site.effect_root())
+                .max();
+            if let Some(max_prev) = max_prev {
+                assert!(sub
+                    .iter()
+                    .all(|(_, f)| f.site.effect_root() >= max_prev));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_one_shard() {
+        let c = chain();
+        let faults = FaultList::full(&c);
+        let p = FaultPartition::cone_locality(&c, &faults, 0);
+        assert_eq!(p.num_shards(), 1);
+        assert_eq!(p.shard(0).len(), faults.len());
+    }
+
+    #[test]
+    fn empty_fault_list_yields_one_empty_shard() {
+        let c = chain();
+        let faults = FaultList::from_faults(vec![]);
+        let p = FaultPartition::cone_locality(&c, &faults, 4);
+        assert_eq!(p.num_shards(), 1);
+        assert!(p.shard(0).is_empty());
+        let rr = FaultPartition::round_robin(0, 4);
+        assert_eq!(rr.num_shards(), 1);
+    }
+
+    #[test]
+    fn round_robin_balances_counts() {
+        let p = FaultPartition::round_robin(10, 3);
+        let lens: Vec<usize> = p.shards().map(<[_]>::len).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn sublist_preserves_faults() {
+        let c = chain();
+        let faults = FaultList::full(&c);
+        let p = FaultPartition::cone_locality(&c, &faults, 4);
+        let mut collected = Vec::new();
+        for s in 0..p.num_shards() {
+            collected.extend(p.sublist(&faults, s).iter().map(|(_, f)| f));
+        }
+        let mut original: Vec<_> = faults.iter().map(|(_, f)| f).collect();
+        collected.sort();
+        original.sort();
+        assert_eq!(collected, original);
+    }
+}

@@ -107,22 +107,55 @@ impl<'c> FaultSimulator<'c> {
 
     /// Like [`FaultSimulator::detect_block`] but only for the faults whose
     /// index satisfies `active`; inactive faults report 0.
+    ///
+    /// Implemented over a throwaway [`FaultWorklist`], so only the active
+    /// faults are visited.  Streaming callers that drop faults across many
+    /// blocks should keep a persistent worklist and call
+    /// [`FaultSimulator::detect_block_worklist`] instead, which avoids
+    /// rebuilding the compacted index set every block.
     pub fn detect_block_filtered(
         &mut self,
         pi_words: &[u64],
         mask: u64,
         active: &[bool],
     ) -> Vec<u64> {
+        assert_eq!(active.len(), self.faults.len(), "one flag per fault");
+        let mut worklist = FaultWorklist::from_active(active);
+        let mut out = vec![0u64; self.faults.len()];
+        self.detect_block_worklist(pi_words, mask, &mut worklist, false, |i, w| out[i] = w);
+        out
+    }
+
+    /// Simulates one block fault-free, then visits exactly the faults in
+    /// `worklist`, invoking `on_detect(fault_index, detection_word)` for
+    /// every fault the block detects.
+    ///
+    /// With `drop = true`, detected faults are swap-removed from the
+    /// worklist so later blocks never touch them again — the compacted
+    /// replacement for scanning an `active: Vec<bool>` of full fault-list
+    /// length on every block.
+    pub fn detect_block_worklist(
+        &mut self,
+        pi_words: &[u64],
+        mask: u64,
+        worklist: &mut FaultWorklist,
+        drop: bool,
+        mut on_detect: impl FnMut(usize, u64),
+    ) {
         self.good.run(pi_words);
-        (0..self.faults.len())
-            .map(|i| {
-                if active[i] {
-                    self.detect_fault_in_block(i, mask)
-                } else {
-                    0
+        let mut k = 0;
+        while k < worklist.indices.len() {
+            let i = worklist.indices[k] as usize;
+            let w = self.detect_fault_in_block(i, mask);
+            if w != 0 {
+                on_detect(i, w);
+                if drop {
+                    worklist.indices.swap_remove(k);
+                    continue; // the swapped-in fault is visited next
                 }
-            })
-            .collect()
+            }
+            k += 1;
+        }
     }
 
     /// Detection word for fault index `i` against the current fault-free
@@ -194,11 +227,65 @@ impl<'c> FaultSimulator<'c> {
     }
 }
 
+/// A compacted worklist of still-active fault indices.
+///
+/// The worklist holds the *indices* (into a [`FaultSimulator`]'s fault
+/// list) of faults that still need simulation.  Dropping a fault is an
+/// `O(1)` swap-remove, so a block late in a dropping run costs time
+/// proportional to the number of *undetected* faults — not, as with an
+/// `active: Vec<bool>` scan, to the full fault-list length.
+///
+/// Iteration order changes as faults are dropped; detection results do
+/// not depend on it (every remaining fault is visited each block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultWorklist {
+    indices: Vec<u32>,
+}
+
+impl FaultWorklist {
+    /// A worklist containing every fault index in `0..num_faults`.
+    pub fn full(num_faults: usize) -> Self {
+        FaultWorklist {
+            indices: (0..u32::try_from(num_faults).expect("fault count fits in u32")).collect(),
+        }
+    }
+
+    /// A worklist of the indices whose `active` flag is set.
+    pub fn from_active(active: &[bool]) -> Self {
+        FaultWorklist {
+            indices: active
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        }
+    }
+
+    /// Number of faults still active.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether every fault has been dropped.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The remaining fault indices, in current (unspecified) order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.indices
+    }
+}
+
 /// Runs `num_patterns` patterns from `source` against `faults` and records
 /// first-detection indices and the coverage curve.
 ///
 /// With `drop = true` a fault is no longer simulated after its first
 /// detection (standard fault dropping; much faster, same coverage result).
+/// Dropped faults are swap-removed from a compacted [`FaultWorklist`], so
+/// late blocks only pay for the still-undetected remainder; once the
+/// worklist drains the remaining blocks are skipped entirely.
 pub fn fault_coverage(
     circuit: &Circuit,
     faults: &FaultList,
@@ -208,22 +295,17 @@ pub fn fault_coverage(
 ) -> CoverageResult {
     let mut sim = FaultSimulator::new(circuit, faults);
     let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
-    let mut active = vec![true; faults.len()];
+    let mut worklist = FaultWorklist::full(faults.len());
     let mut done = 0u64;
-    while done < num_patterns {
+    while done < num_patterns && !(drop && worklist.is_empty()) {
         let limit = (num_patterns - done).min(64) as u32;
         let block = source.next_block(limit);
         let mask = block.mask();
-        let words = sim.detect_block_filtered(&block.words, mask, &active);
-        for (i, w) in words.iter().enumerate() {
-            if *w != 0 && detected_at[i].is_none() {
-                let first = w.trailing_zeros() as u64;
-                detected_at[i] = Some(done + first);
-                if drop {
-                    active[i] = false;
-                }
+        sim.detect_block_worklist(&block.words, mask, &mut worklist, drop, |i, w| {
+            if detected_at[i].is_none() {
+                detected_at[i] = Some(done + u64::from(w.trailing_zeros()));
             }
-        }
+        });
         done += u64::from(block.len);
     }
     CoverageResult::new(detected_at, num_patterns)
@@ -381,39 +463,8 @@ mod proptests {
     use super::*;
     use crate::logic::simulate_pattern;
     use crate::patterns::ExhaustivePatterns;
+    use crate::test_support::arb_circuit;
     use proptest::prelude::*;
-    use wrt_circuit::{CircuitBuilder, GateKind};
-
-    fn arb_circuit() -> impl Strategy<Value = Circuit> {
-        let kinds = prop::sample::select(vec![
-            GateKind::And,
-            GateKind::Nand,
-            GateKind::Or,
-            GateKind::Nor,
-            GateKind::Xor,
-            GateKind::Xnor,
-            GateKind::Not,
-        ]);
-        proptest::collection::vec((kinds, proptest::collection::vec(0usize..100, 1..3)), 4..18)
-            .prop_map(|specs| {
-                let mut b = CircuitBuilder::named("rand");
-                let mut ids = Vec::new();
-                for i in 0..4 {
-                    ids.push(b.input(format!("i{i}")));
-                }
-                for (kind, picks) in specs {
-                    let fanin: Vec<_> = if kind == GateKind::Not {
-                        vec![ids[picks[0] % ids.len()]]
-                    } else {
-                        picks.iter().map(|&p| ids[p % ids.len()]).collect()
-                    };
-                    ids.push(b.gate_auto(kind, &fanin).expect("valid"));
-                }
-                b.mark_output(*ids.last().expect("nonempty"));
-                b.mark_output(ids[4]);
-                b.build().expect("valid circuit")
-            })
-    }
 
     /// Scalar reference fault simulation: inject the fault into a copy of
     /// the evaluation and compare outputs, bit by bit.

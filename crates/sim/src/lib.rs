@@ -10,6 +10,30 @@
 //! All randomness is deterministic and seed-driven ([`Xoshiro256`]), so
 //! every experiment in the workspace is bit-reproducible.
 //!
+//! # Sharded PPSFP
+//!
+//! The serial entry points ([`fault_coverage`], [`detection_counts`]) have
+//! sharded counterparts ([`fault_coverage_sharded`],
+//! [`detection_counts_sharded`]) that fan the fault list out over worker
+//! threads:
+//!
+//! 1. the collapsed fault list is partitioned into cone-locality-aware,
+//!    cost-balanced shards (`wrt_fault::FaultPartition`) — faults sharing
+//!    an effect root share a shard, so each worker's cone cache stays as
+//!    deduplicated as the serial simulator's;
+//! 2. each shard gets a `std::thread::scope` worker owning a private
+//!    [`FaultSimulator`] (scratch state, good-value buffers) and a
+//!    compacted [`FaultWorklist`] that swap-removes faults on detection,
+//!    so late blocks only touch still-undetected faults;
+//! 3. the main thread draws blocks from the sequential, seed-deterministic
+//!    pattern source and broadcasts them in bounded chunks; workers that
+//!    drain their worklist hang up early.
+//!
+//! Merging per-shard results by fault id makes the sharded engine
+//! bit-identical to the serial one for every thread count (a property-
+//! tested invariant), while the fault-parallel fan-out scales the paper's
+//! Monte-Carlo estimation and validation loops across cores.
+//!
 //! # Example
 //!
 //! ```
@@ -31,11 +55,17 @@ mod coverage;
 mod fault_sim;
 mod logic;
 mod multiple;
+mod parallel;
 mod patterns;
 mod rng;
+#[cfg(test)]
+mod test_support;
 
 pub use coverage::{CoverageCurve, CoverageResult};
-pub use fault_sim::{detection_counts, fault_coverage, FaultSimulator};
+pub use fault_sim::{detection_counts, fault_coverage, FaultSimulator, FaultWorklist};
+pub use parallel::{
+    available_threads, detection_counts_sharded, fault_coverage_sharded, recommended_threads,
+};
 pub use multiple::{detect_multiple, multiple_fault_coverage, random_multiples};
 pub use logic::{eval_gate_words, simulate_pattern, LogicSim};
 pub use patterns::{ExhaustivePatterns, PatternBlock, PatternSource, WeightedPatterns};

@@ -1,0 +1,450 @@
+//! Sharded multi-threaded PPSFP fault simulation.
+//!
+//! PPSFP is embarrassingly parallel across faults: every fault's detection
+//! words depend only on the fault-free block values and the fault's own
+//! cone.  The engine here partitions the fault list into cone-locality-aware
+//! shards ([`FaultPartition`]), gives each shard a worker thread owning its
+//! own [`FaultSimulator`] scratch state and compacted [`FaultWorklist`],
+//! and streams pattern blocks to all workers in bounded chunks.
+//!
+//! Design:
+//!
+//! * **One pattern stream, many fault shards.**  The main thread draws
+//!   blocks from the (inherently sequential, seed-deterministic) pattern
+//!   source and broadcasts reference-counted chunks over bounded channels;
+//!   every worker simulates *all* patterns against *its* faults.  Results
+//!   are merged by fault id, so the outcome is bit-identical to the serial
+//!   engine's — same `detected_at`, same counts — for any thread count.
+//! * **Duplicated good simulation.**  Each worker re-runs the fault-free
+//!   simulation of a block for its own scratch state.  That multiplies the
+//!   (cheap, `O(gates)`) good simulation by the shard count but keeps
+//!   workers completely independent — no shared mutable state, no locks.
+//! * **Compacted worklists + early exit.**  With fault dropping, a worker
+//!   swap-removes detected faults and stops consuming chunks once its
+//!   worklist drains; the producer stops generating as soon as every
+//!   worker has hung up.
+//!
+//! `std::thread::scope` keeps everything dependency-free and lets workers
+//! borrow the circuit and fault list directly.
+
+use std::num::NonZeroUsize;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+
+use wrt_circuit::Circuit;
+use wrt_fault::{FaultList, FaultPartition};
+
+use crate::coverage::CoverageResult;
+use crate::fault_sim::{detection_counts, fault_coverage, FaultSimulator, FaultWorklist};
+use crate::patterns::{PatternBlock, PatternSource};
+
+/// Pattern blocks per broadcast chunk (8 Ki patterns): large enough to
+/// amortize channel traffic, small enough to bound in-flight memory and
+/// to overlap pattern generation with simulation even on short runs.
+const CHUNK_BLOCKS: usize = 128;
+
+/// Chunks a worker may have queued; the producer blocks beyond that, so
+/// at most a few chunks are alive at once regardless of pattern count.
+const CHANNEL_DEPTH: usize = 2;
+
+/// A run of consecutive pattern blocks starting at pattern `start`.
+#[derive(Debug)]
+struct Chunk {
+    start: u64,
+    blocks: Vec<PatternBlock>,
+}
+
+/// Number of worker threads to use when the caller passes `threads = 0`:
+/// the machine's available parallelism (1 if unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Minimum faults per shard when the caller lets us pick the thread
+/// count: below this, fan-out overhead dominates any parallel win.
+const MIN_FAULTS_PER_SHARD: usize = 16;
+
+/// Resolves a requested thread count against a fault-list size:
+/// `0` becomes the machine's available parallelism capped so each
+/// auto-chosen shard gets at least a minimum number of faults; explicit
+/// counts are honored as given.  Results of the sharded engines are
+/// identical for every thread count — only the wall clock differs — so
+/// callers embedding the sharded engine (e.g. Monte-Carlo estimators)
+/// can use this to budget threads without changing outputs.
+pub fn recommended_threads(requested: usize, num_faults: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+            .min(num_faults / MIN_FAULTS_PER_SHARD)
+            .max(1)
+    } else {
+        requested
+    }
+}
+
+/// Draws blocks from `source` and broadcasts them to `senders` in bounded
+/// chunks until `num_patterns` patterns are out or every receiver hung up.
+fn stream_chunks(
+    mut source: impl PatternSource,
+    num_patterns: u64,
+    mut senders: Vec<SyncSender<Arc<Chunk>>>,
+) {
+    let mut done = 0u64;
+    while done < num_patterns && !senders.is_empty() {
+        let start = done;
+        let mut blocks = Vec::with_capacity(CHUNK_BLOCKS);
+        while blocks.len() < CHUNK_BLOCKS && done < num_patterns {
+            let limit = (num_patterns - done).min(64) as u32;
+            let block = source.next_block(limit);
+            done += u64::from(block.len);
+            blocks.push(block);
+        }
+        let chunk = Arc::new(Chunk { start, blocks });
+        // A send fails when the worker dropped its receiver (worklist
+        // drained): stop feeding it, keep the others going.
+        senders.retain(|tx| tx.send(Arc::clone(&chunk)).is_ok());
+    }
+}
+
+/// The shared fan-out scaffold: partitions `faults` into
+/// cone-locality-aware shards, spawns one scoped worker per shard with
+/// its own bounded chunk channel, streams the pattern blocks, and merges
+/// each worker's per-shard vector back into `out` by fault id.
+///
+/// `worker` receives the shard's fault sublist and its chunk receiver
+/// and returns one result per shard fault (in sublist order).
+fn run_sharded<T: Send>(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    threads: usize,
+    out: &mut [T],
+    worker: impl Fn(FaultList, Receiver<Arc<Chunk>>) -> Vec<T> + Sync,
+) {
+    let partition = FaultPartition::cone_locality(circuit, faults, threads);
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let mut senders = Vec::with_capacity(partition.num_shards());
+        let mut handles = Vec::with_capacity(partition.num_shards());
+        for s in 0..partition.num_shards() {
+            let (tx, rx): (SyncSender<Arc<Chunk>>, Receiver<Arc<Chunk>>) =
+                sync_channel(CHANNEL_DEPTH);
+            senders.push(tx);
+            let sublist = partition.sublist(faults, s);
+            handles.push(scope.spawn(move || worker(sublist, rx)));
+        }
+        stream_chunks(source, num_patterns, senders);
+        for (s, handle) in handles.into_iter().enumerate() {
+            let local = handle.join().expect("fault-sim worker panicked");
+            for (value, &id) in local.into_iter().zip(partition.shard(s)) {
+                out[id.index()] = value;
+            }
+        }
+    });
+}
+
+/// Sharded [`fault_coverage`]: identical results, fanned out over
+/// `threads` worker threads (`0` = capped available parallelism, see
+/// [`recommended_threads`]).
+///
+/// The fault list is split into cone-locality-aware shards, one worker
+/// per shard; see the module docs for the design.  `threads = 1` falls
+/// back to the serial engine.  Results are bit-identical to
+/// [`fault_coverage`] for every thread count, because every worker
+/// consumes the same deterministic pattern stream.
+pub fn fault_coverage_sharded(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    drop: bool,
+    threads: usize,
+) -> CoverageResult {
+    let threads = recommended_threads(threads, faults.len());
+    if threads <= 1 || faults.len() <= 1 {
+        return fault_coverage(circuit, faults, source, num_patterns, drop);
+    }
+    let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
+    run_sharded(
+        circuit,
+        faults,
+        source,
+        num_patterns,
+        threads,
+        &mut detected_at,
+        |sublist, rx| {
+            let mut sim = FaultSimulator::new(circuit, &sublist);
+            let mut worklist = FaultWorklist::full(sublist.len());
+            let mut local: Vec<Option<u64>> = vec![None; sublist.len()];
+            'chunks: while let Ok(chunk) = rx.recv() {
+                let mut done = chunk.start;
+                for block in &chunk.blocks {
+                    if drop && worklist.is_empty() {
+                        // Hang up: the producer stops feeding this shard.
+                        break 'chunks;
+                    }
+                    sim.detect_block_worklist(
+                        &block.words,
+                        block.mask(),
+                        &mut worklist,
+                        drop,
+                        |i, w| {
+                            if local[i].is_none() {
+                                local[i] = Some(done + u64::from(w.trailing_zeros()));
+                            }
+                        },
+                    );
+                    done += u64::from(block.len);
+                }
+            }
+            local
+        },
+    );
+    CoverageResult::new(detected_at, num_patterns)
+}
+
+/// Sharded [`detection_counts`]: identical counts, fanned out over
+/// `threads` worker threads (`0` = capped available parallelism, see
+/// [`recommended_threads`]).
+///
+/// This is the Monte-Carlo hot path of the paper's loop: the per-fault
+/// detection frequencies it returns feed the `p_f(X)` estimates of the
+/// probability-refinement sweeps.
+pub fn detection_counts_sharded(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    threads: usize,
+) -> Vec<u64> {
+    let threads = recommended_threads(threads, faults.len());
+    if threads <= 1 || faults.len() <= 1 {
+        return detection_counts(circuit, faults, source, num_patterns);
+    }
+    let mut counts = vec![0u64; faults.len()];
+    run_sharded(
+        circuit,
+        faults,
+        source,
+        num_patterns,
+        threads,
+        &mut counts,
+        |sublist, rx| {
+            let mut sim = FaultSimulator::new(circuit, &sublist);
+            let mut worklist = FaultWorklist::full(sublist.len());
+            let mut local = vec![0u64; sublist.len()];
+            while let Ok(chunk) = rx.recv() {
+                for block in &chunk.blocks {
+                    sim.detect_block_worklist(
+                        &block.words,
+                        block.mask(),
+                        &mut worklist,
+                        false,
+                        |i, w| local[i] += u64::from(w.count_ones()),
+                    );
+                }
+            }
+            local
+        },
+    );
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_sim::{detection_counts, fault_coverage};
+    use crate::patterns::WeightedPatterns;
+    use wrt_circuit::parse_bench;
+
+    fn adder() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(cout)\n\
+             x1 = XOR(a, b)\ns = XOR(x1, cin)\na1 = AND(a, b)\na2 = AND(x1, cin)\n\
+             cout = OR(a1, a2)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_coverage_matches_serial_bit_for_bit() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        for drop in [false, true] {
+            let serial = fault_coverage(
+                &c,
+                &faults,
+                WeightedPatterns::equiprobable(3, 11),
+                500,
+                drop,
+            );
+            for threads in [2, 3, 4, 16] {
+                let sharded = fault_coverage_sharded(
+                    &c,
+                    &faults,
+                    WeightedPatterns::equiprobable(3, 11),
+                    500,
+                    drop,
+                    threads,
+                );
+                assert_eq!(
+                    serial.detected_at(),
+                    sharded.detected_at(),
+                    "drop = {drop}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_counts_match_serial() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        let serial =
+            detection_counts(&c, &faults, WeightedPatterns::equiprobable(3, 23), 1000);
+        for threads in [0, 1, 2, 5, 64] {
+            let sharded = detection_counts_sharded(
+                &c,
+                &faults,
+                WeightedPatterns::equiprobable(3, 23),
+                1000,
+                threads,
+            );
+            assert_eq!(serial, sharded, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_fault_and_empty_lists_are_fine() {
+        let c = adder();
+        let one = wrt_fault::FaultList::from_faults(vec![wrt_fault::Fault::output(
+            c.node_id("s").unwrap(),
+            false,
+        )]);
+        let r = fault_coverage_sharded(
+            &c,
+            &one,
+            WeightedPatterns::equiprobable(3, 1),
+            128,
+            true,
+            4,
+        );
+        assert_eq!(r.num_faults(), 1);
+        let empty = wrt_fault::FaultList::from_faults(vec![]);
+        let r = fault_coverage_sharded(
+            &c,
+            &empty,
+            WeightedPatterns::equiprobable(3, 1),
+            128,
+            true,
+            4,
+        );
+        assert_eq!(r.num_faults(), 0);
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_capped_parallelism() {
+        assert!(available_threads() >= 1);
+        // Auto mode never overshards tiny fault lists...
+        assert_eq!(recommended_threads(0, 3), 1);
+        let big = 100_000 * MIN_FAULTS_PER_SHARD;
+        assert_eq!(recommended_threads(0, big), available_threads());
+        // ...but explicit requests are honored as given.
+        assert_eq!(recommended_threads(3, 3), 3);
+    }
+
+    #[test]
+    fn more_patterns_than_one_chunk() {
+        // > CHUNK_BLOCKS * 64 patterns forces several broadcast chunks.
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let faults = wrt_fault::FaultList::full(&c);
+        let n = (CHUNK_BLOCKS as u64) * 64 + 321;
+        let serial = detection_counts(&c, &faults, WeightedPatterns::equiprobable(2, 7), n);
+        let sharded = detection_counts_sharded(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(2, 7),
+            n,
+            3,
+        );
+        assert_eq!(serial, sharded);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::fault_sim::{detection_counts, fault_coverage};
+    use crate::patterns::WeightedPatterns;
+    use crate::test_support::arb_circuit;
+    use proptest::prelude::*;
+    use wrt_fault::FaultList;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The sharded engine is bit-identical to the serial one —
+        /// `detected_at` and `counts` — across random circuits, weights,
+        /// thread/shard counts (including shards > faults and 1 thread),
+        /// pattern counts, and with/without fault dropping.
+        #[test]
+        fn sharded_is_bit_identical_to_serial(
+            circuit in arb_circuit(),
+            weights in proptest::collection::vec(0.05f64..0.95, 4),
+            threads in 1usize..9,
+            seed in 0u64..1_000,
+            patterns in 1u64..400,
+            drop in any::<bool>(),
+        ) {
+            let faults = FaultList::full(&circuit);
+
+            let serial = fault_coverage(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns, drop,
+            );
+            let sharded = fault_coverage_sharded(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns, drop, threads,
+            );
+            prop_assert_eq!(serial.detected_at(), sharded.detected_at());
+
+            let counts = detection_counts(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns,
+            );
+            let counts_sharded = detection_counts_sharded(
+                &circuit, &faults,
+                WeightedPatterns::new(weights, seed),
+                patterns, threads,
+            );
+            prop_assert_eq!(counts, counts_sharded);
+        }
+
+        /// Shard counts far beyond the fault count degenerate gracefully
+        /// (singleton shards), still bit-identical.
+        #[test]
+        fn oversharding_is_identical(
+            circuit in arb_circuit(),
+            seed in 0u64..100,
+        ) {
+            let faults = FaultList::primary_inputs(&circuit);
+            let serial = fault_coverage(
+                &circuit, &faults,
+                WeightedPatterns::equiprobable(4, seed),
+                200, true,
+            );
+            let sharded = fault_coverage_sharded(
+                &circuit, &faults,
+                WeightedPatterns::equiprobable(4, seed),
+                200, true, faults.len() * 3 + 7,
+            );
+            prop_assert_eq!(serial.detected_at(), sharded.detected_at());
+        }
+    }
+}

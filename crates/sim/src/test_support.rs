@@ -1,0 +1,37 @@
+//! Shared proptest strategies for the crate's property tests.
+
+use proptest::prelude::*;
+use wrt_circuit::{Circuit, CircuitBuilder, GateKind};
+
+/// A small random 4-input circuit with two outputs: a mix of gate kinds
+/// over randomly picked (possibly reconvergent) fanins.
+pub fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    let kinds = prop::sample::select(vec![
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ]);
+    proptest::collection::vec((kinds, proptest::collection::vec(0usize..100, 1..3)), 4..18)
+        .prop_map(|specs| {
+            let mut b = CircuitBuilder::named("rand");
+            let mut ids = Vec::new();
+            for i in 0..4 {
+                ids.push(b.input(format!("i{i}")));
+            }
+            for (kind, picks) in specs {
+                let fanin: Vec<_> = if kind == GateKind::Not {
+                    vec![ids[picks[0] % ids.len()]]
+                } else {
+                    picks.iter().map(|&p| ids[p % ids.len()]).collect()
+                };
+                ids.push(b.gate_auto(kind, &fanin).expect("valid"));
+            }
+            b.mark_output(*ids.last().expect("nonempty"));
+            b.mark_output(ids[4]);
+            b.build().expect("valid circuit")
+        })
+}

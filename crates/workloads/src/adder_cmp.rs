@@ -95,6 +95,7 @@ mod tests {
         c.outputs().iter().map(|&o| values[o.index()]).collect()
     }
 
+    #[allow(clippy::too_many_arguments)] // direct mirror of the circuit's operand pins
     fn run(
         c: &Circuit,
         width: usize,
@@ -122,8 +123,8 @@ mod tests {
         assignment.push(false); // CIN
         let out = eval(c, &assignment);
         let mut f = 0u64;
-        for i in 0..width {
-            if out[i] {
+        for (i, &bit) in out.iter().enumerate().take(width) {
+            if bit {
                 f |= 1 << i;
             }
         }

@@ -197,8 +197,8 @@ mod tests {
         assignment.push(cin);
         let out = eval(c, &assignment);
         let mut f = 0u64;
-        for i in 0..width {
-            if out[i] {
+        for (i, &bit) in out.iter().enumerate().take(width) {
+            if bit {
                 f |= 1 << i;
             }
         }

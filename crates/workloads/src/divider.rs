@@ -172,8 +172,8 @@ mod tests {
         }
         let out = eval(c, &assignment);
         let mut q = 0u64;
-        for i in 0..n {
-            if out[i] {
+        for (i, &bit) in out.iter().enumerate().take(n) {
+            if bit {
                 q |= 1 << (n - 1 - i);
             }
         }

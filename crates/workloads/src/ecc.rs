@@ -180,8 +180,8 @@ mod tests {
         assignment.extend_from_slice(check);
         let out = eval(c, &assignment);
         let mut corrected = 0u64;
-        for i in 0..data_bits {
-            if out[i] {
+        for (i, &bit) in out.iter().enumerate().take(data_bits) {
+            if bit {
                 corrected |= 1 << i;
             }
         }

@@ -119,8 +119,8 @@ mod tests {
             return (None, out[idx_bits + 1]);
         }
         let mut idx = 0usize;
-        for j in 0..idx_bits {
-            if out[j] {
+        for (j, &bit) in out.iter().enumerate().take(idx_bits) {
+            if bit {
                 idx |= 1 << j;
             }
         }

@@ -60,8 +60,8 @@ pub fn array_multiplier(n: usize) -> Circuit {
     );
 
     let zero = b.const0();
-    for k in 0..2 * n {
-        let bit = cols[k].first().copied().unwrap_or(zero);
+    for (k, col) in cols.iter().enumerate().take(2 * n) {
+        let bit = col.first().copied().unwrap_or(zero);
         let out = b
             .gate(wrt_circuit::GateKind::Buf, format!("P{k}"), &[bit])
             .expect("valid fanin");
