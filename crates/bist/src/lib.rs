@@ -38,4 +38,4 @@ pub use misr::Misr;
 pub use polynomials::{primitive_taps, MAX_TABULATED_DEGREE};
 pub use scan::{fits_test_budget, TestAccess};
 pub use sequential::{accumulator, SequentialCircuit, SequentialError};
-pub use weighted::{DyadicWeight, WeightedLfsr};
+pub use weighted::{DyadicWeight, WeightedLfsr, STREAM_DEGREE};

@@ -1,14 +1,17 @@
 //! Primitive feedback polynomials for maximal-length LFSRs.
 //!
-//! One primitive polynomial per degree 2..=32 (tap positions from the
+//! One primitive polynomial per degree 2..=64 (tap positions from the
 //! standard tables, e.g. Xilinx XAPP052): an LFSR with these taps cycles
-//! through all `2^n − 1` non-zero states.
+//! through all `2^n − 1` non-zero states.  The degree-64 entry is what
+//! [`crate::WeightedLfsr`] builds its per-input streams from: a 2^64 − 1
+//! bit period cannot wrap within any realistic test-length budget, unlike
+//! the previous degree-32 generator (2^32 − 1 bits ≈ 2^26 words).
 
 /// Largest degree with a tabulated primitive polynomial.
-pub const MAX_TABULATED_DEGREE: u32 = 32;
+pub const MAX_TABULATED_DEGREE: u32 = 64;
 
 /// Tap mask of a primitive polynomial of the given degree, or `None` if
-/// the degree is outside `2..=32`.
+/// the degree is outside `2..=64`.
 ///
 /// The mask is laid out for a *right-shifting* Fibonacci register: tap
 /// position `k` (1-based, `k = degree` always present) sets bit
@@ -55,6 +58,38 @@ pub fn primitive_taps(degree: u32) -> Option<u64> {
         30 => &[30, 6, 4, 1],
         31 => &[31, 28],
         32 => &[32, 22, 2, 1],
+        33 => &[33, 20],
+        34 => &[34, 27, 2, 1],
+        35 => &[35, 33],
+        36 => &[36, 25],
+        37 => &[37, 5, 4, 3, 2, 1],
+        38 => &[38, 6, 5, 1],
+        39 => &[39, 35],
+        40 => &[40, 38, 21, 19],
+        41 => &[41, 38],
+        42 => &[42, 41, 20, 19],
+        43 => &[43, 42, 38, 37],
+        44 => &[44, 43, 18, 17],
+        45 => &[45, 44, 42, 41],
+        46 => &[46, 45, 26, 25],
+        47 => &[47, 42],
+        48 => &[48, 47, 21, 20],
+        49 => &[49, 40],
+        50 => &[50, 49, 24, 23],
+        51 => &[51, 50, 36, 35],
+        52 => &[52, 49],
+        53 => &[53, 52, 38, 37],
+        54 => &[54, 53, 18, 17],
+        55 => &[55, 31],
+        56 => &[56, 55, 35, 34],
+        57 => &[57, 50],
+        58 => &[58, 39],
+        59 => &[59, 58, 38, 37],
+        60 => &[60, 59],
+        61 => &[61, 60, 46, 45],
+        62 => &[62, 61, 6, 5],
+        63 => &[63, 62],
+        64 => &[64, 63, 61, 60],
         _ => return None,
     };
     Some(
@@ -73,7 +108,9 @@ mod tests {
         for degree in 2..=MAX_TABULATED_DEGREE {
             let taps = primitive_taps(degree).expect("tabulated");
             assert!(taps & 1 != 0, "bit 0 always tapped (bijectivity)");
-            assert!(taps < (1u64 << degree));
+            if degree < 64 {
+                assert!(taps < (1u64 << degree));
+            }
         }
     }
 
@@ -81,7 +118,7 @@ mod tests {
     fn out_of_range_degrees_are_none() {
         assert!(primitive_taps(0).is_none());
         assert!(primitive_taps(1).is_none());
-        assert!(primitive_taps(33).is_none());
+        assert!(primitive_taps(65).is_none());
     }
 
     #[test]

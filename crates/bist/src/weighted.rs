@@ -54,11 +54,29 @@ impl DyadicWeight {
     }
 }
 
-/// A weighted pattern generator driven by one LFSR.
+/// Feedback degree of each per-input LFSR stream.
+///
+/// Degree 64 gives every stream a 2^64 − 1 bit period, so the generator
+/// state cannot recur within any realistic test-length budget; the
+/// previous single degree-32 generator wrapped after 2^32 − 1 bits
+/// (≈ 2^26 words), well inside long runs over wide circuits.
+pub const STREAM_DEGREE: u32 = 64;
+
+/// A weighted pattern generator with one independent LFSR per input.
 ///
 /// Implements [`PatternSource`], so it can drive the fault simulator
 /// directly — this is the "patterns produced on the chip during self
 /// test" path of the paper's introduction.
+///
+/// Each input owns its own maximal-length degree-[`STREAM_DEGREE`] LFSR,
+/// seeded from a per-input SplitMix64 derivation of the generator seed.
+/// Feeding all inputs from *one* serial register (an earlier design, and
+/// a tempting hardware shortcut) makes the per-input words successive
+/// windows of the same m-sequence, so inputs are structurally
+/// cross-correlated — every input's bits are a fixed linear function of
+/// any other input's.  Independent streams also make an input's sequence
+/// a function of `(seed, input index)` alone, invariant under the number
+/// of other inputs.
 ///
 /// # Example
 ///
@@ -74,16 +92,27 @@ impl DyadicWeight {
 #[derive(Debug, Clone)]
 pub struct WeightedLfsr {
     weights: Vec<DyadicWeight>,
-    lfsr: Lfsr,
+    streams: Vec<Lfsr>,
+}
+
+/// SplitMix64 finalizer: decorrelates the per-input stream seeds.
+fn stream_seed(seed: u64, input: usize) -> u64 {
+    let mut z = seed.wrapping_add((input as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl WeightedLfsr {
     /// Creates a generator with explicit per-input dyadic weights.
     pub fn new(weights: Vec<DyadicWeight>, seed: u64) -> Self {
-        WeightedLfsr {
-            weights,
-            lfsr: Lfsr::maximal(32, seed).expect("degree 32 is tabulated"),
-        }
+        let streams = (0..weights.len())
+            .map(|k| {
+                Lfsr::maximal(STREAM_DEGREE, stream_seed(seed, k))
+                    .expect("stream degree is tabulated")
+            })
+            .collect();
+        WeightedLfsr { weights, streams }
     }
 
     /// Creates a generator by snapping continuous weights to the closest
@@ -103,6 +132,12 @@ impl WeightedLfsr {
         self.weights.iter().map(DyadicWeight::realized).collect()
     }
 
+    /// Feedback degree of the per-input streams; each stream's period is
+    /// `2^width − 1` bits.
+    pub fn stream_width(&self) -> u32 {
+        STREAM_DEGREE
+    }
+
     /// Worst absolute difference between requested and realized weight.
     pub fn quantization_error(&self, requested: &[f64]) -> f64 {
         requested
@@ -119,10 +154,11 @@ impl PatternSource for WeightedLfsr {
         let words = self
             .weights
             .iter()
-            .map(|w| {
+            .zip(&mut self.streams)
+            .map(|(w, lfsr)| {
                 let mut word = u64::MAX;
                 for _ in 0..w.bits {
-                    word &= self.lfsr.next_word(64);
+                    word &= lfsr.next_word(64);
                 }
                 if w.invert {
                     !word
@@ -212,5 +248,119 @@ mod tests {
         let generator = WeightedLfsr::from_weights(&requested, 4, 1);
         let err = generator.quantization_error(&requested);
         assert!(err > 0.0 && err < 0.06, "err = {err}");
+    }
+
+    /// Whether `bits` (consecutive outputs, index = time) satisfies the
+    /// linear recurrence of a width-`width` Fibonacci LFSR with tap mask
+    /// `taps` at *every* checkable position — true exactly when the bits
+    /// are one serial window of such a register's output.
+    fn satisfies_serial_recurrence(bits: &[bool], width: u32, taps: u64) -> bool {
+        let w = width as usize;
+        assert!(bits.len() > w, "need more than one register of bits");
+        (0..bits.len() - w).all(|t| {
+            let mut feedback = false;
+            for (k, bit) in bits[t..t + w].iter().enumerate() {
+                if (taps >> k) & 1 == 1 {
+                    feedback ^= bit;
+                }
+            }
+            feedback == bits[t + w]
+        })
+    }
+
+    fn word_bits(word: u64) -> Vec<bool> {
+        (0..64).map(|k| (word >> k) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn adjacent_inputs_are_not_windows_of_one_serial_stream() {
+        // Regression: the generator used to draw every input's word from
+        // one serial register, making input k+1's word the next 64 bits of
+        // the same m-sequence as input k's — the concatenation satisfied
+        // the register's linear recurrence at every position, i.e. the
+        // inputs were deterministic linear functions of each other.
+        let mut generator = WeightedLfsr::from_weights(&[0.5, 0.5], 4, 0x5EED);
+        for block in 0..8 {
+            let b = generator.next_block(64);
+            let mut concat = word_bits(b.words[0]);
+            concat.extend(word_bits(b.words[1]));
+            // Not a window of the legacy degree-32 serial stream...
+            let legacy = crate::primitive_taps(32).unwrap();
+            assert!(
+                !satisfies_serial_recurrence(&concat, 32, legacy),
+                "block {block}: inputs are windows of one degree-32 stream"
+            );
+            // ...and not of a single stream at the current degree either.
+            let current = crate::primitive_taps(STREAM_DEGREE).unwrap();
+            assert!(
+                !satisfies_serial_recurrence(&concat, STREAM_DEGREE, current),
+                "block {block}: inputs are windows of one degree-{STREAM_DEGREE} stream"
+            );
+            // Each input on its own *is* a serial window of its private
+            // stream (sanity check of the recurrence test itself, over
+            // two consecutive blocks of the same input).
+            if block == 0 {
+                let b2 = generator.next_block(64);
+                let mut own = word_bits(b.words[0]);
+                own.extend(word_bits(b2.words[0]));
+                assert!(satisfies_serial_recurrence(&own, STREAM_DEGREE, current));
+            }
+        }
+    }
+
+    #[test]
+    fn input_streams_are_pairwise_decorrelated() {
+        let mut generator = WeightedLfsr::from_weights(&[0.5; 3], 4, 0xACE);
+        let blocks = 200u32;
+        let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+        let mut agree = [0u64; 3];
+        for _ in 0..blocks {
+            let b = generator.next_block(64);
+            for (slot, &(i, j)) in pairs.iter().enumerate() {
+                agree[slot] += u64::from((!(b.words[i] ^ b.words[j])).count_ones());
+            }
+        }
+        let total = f64::from(blocks) * 64.0;
+        for (slot, &(i, j)) in pairs.iter().enumerate() {
+            let frac = agree[slot] as f64 / total;
+            assert!(
+                (frac - 0.5).abs() < 0.03,
+                "inputs {i} and {j} agree on {frac} of bits"
+            );
+        }
+    }
+
+    #[test]
+    fn input_stream_depends_only_on_seed_and_position() {
+        // With per-input streams, adding more inputs must not reshuffle
+        // the bits of existing ones (the serial design interleaved one
+        // stream across however many inputs there were).
+        let mut narrow = WeightedLfsr::from_weights(&[0.5; 2], 4, 99);
+        let mut wide = WeightedLfsr::from_weights(&[0.5; 5], 4, 99);
+        for _ in 0..4 {
+            let a = narrow.next_block(64);
+            let b = wide.next_block(64);
+            assert_eq!(a.words[0], b.words[0]);
+            assert_eq!(a.words[1], b.words[1]);
+        }
+    }
+
+    #[test]
+    fn stream_state_does_not_recur_within_budget() {
+        // Period guard: the per-input register must be wide enough that
+        // the whole generator cannot wrap on long runs (the legacy shared
+        // degree-32 register recurred after 2^32 − 1 bits ≈ 2^26 words).
+        let generator = WeightedLfsr::from_weights(&[0.5], 4, 7);
+        assert!(generator.stream_width() >= 64);
+        // Direct lower-bound check: the Fibonacci update is invertible,
+        // so any cycle passes through the start state; 2^20 steps without
+        // returning proves the period exceeds 2^20, and primitivity of
+        // the tabulated degree-64 taps supplies the rest (2^64 − 1).
+        let mut lfsr = Lfsr::maximal(STREAM_DEGREE, 0xDEAD_BEEF).unwrap();
+        let start = lfsr.state();
+        for step in 0..(1u32 << 20) {
+            lfsr.step();
+            assert_ne!(lfsr.state(), start, "state recurred after {step} steps");
+        }
     }
 }

@@ -241,7 +241,9 @@ impl CircuitBuilder {
             input_position[id.index()] = pos;
         }
         let levels = Levels::compute(&self.nodes);
+        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         Ok(Circuit {
+            uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             name: self.name,
             nodes: self.nodes,
             inputs: self.inputs,

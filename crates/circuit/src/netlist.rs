@@ -84,6 +84,10 @@ impl Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Circuit {
+    /// Process-unique identity assigned at build time (clones share it —
+    /// a clone is the same immutable structure).  Lets caches keyed on a
+    /// circuit distinguish equally-named, equally-sized circuits in O(1).
+    pub(crate) uid: u64,
     pub(crate) name: String,
     /// Nodes in topological order (fanin ids < own id).
     pub(crate) nodes: Vec<Node>,
@@ -102,6 +106,15 @@ impl Circuit {
     /// The circuit's name (e.g. `"s1"`, `"c6288ish"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Process-unique identity of this circuit, assigned when it was
+    /// built.  Clones return the same value (a clone is the same
+    /// immutable structure); two separately built circuits never share
+    /// it, even when their names and shapes coincide.  Intended as a
+    /// cache key for engines that carry state across calls.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Total number of nodes, including primary inputs and constants.

@@ -4,7 +4,8 @@ use wrt_atpg::{generate_tests, AtpgConfig};
 use wrt_circuit::{Circuit, CircuitStats};
 use wrt_core::{quantize_weights, required_test_length, OptimizeConfig};
 use wrt_estimate::{
-    constant_line_faults, CopEngine, DetectionProbabilityEngine, MonteCarloEngine, StafanEngine,
+    constant_line_faults, CopEngine, DetectionProbabilityEngine, IncrementalCop,
+    MonteCarloEngine, StafanEngine,
 };
 use wrt_fault::FaultList;
 use wrt_sim::{fault_coverage_sharded, WeightedPatterns};
@@ -16,7 +17,9 @@ commands:
   analyze  <circuit>                              testability report
   optimize <circuit> [--grid G] [--confidence C] [--engine E] [--threads T]
            [--seed S] [--mc-patterns N]
-           optimized input probabilities; E = cop (default) | stafan | monte-carlo
+           optimized input probabilities;
+           E = incremental-cop (default; cone-restricted per-coordinate
+           recompute, bit-identical to cop) | cop | stafan | monte-carlo
            (--seed and --mc-patterns apply to the sampling engines)
   simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
   atpg     <circuit> [--backtracks B]             deterministic test generation
@@ -133,10 +136,10 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 /// Sampling-only flags are rejected for engines that cannot honor them,
 /// instead of being silently ignored.
 fn engine_arg(args: &[String]) -> Result<Box<dyn DetectionProbabilityEngine>, String> {
-    let engine = flag_value(args, "--engine").unwrap_or("cop");
-    if !["cop", "stafan", "monte-carlo"].contains(&engine) {
+    let engine = flag_value(args, "--engine").unwrap_or("incremental-cop");
+    if !["incremental-cop", "cop", "stafan", "monte-carlo"].contains(&engine) {
         return Err(format!(
-            "unknown engine `{engine}` (expected cop, stafan, or monte-carlo)"
+            "unknown engine `{engine}` (expected incremental-cop, cop, stafan, or monte-carlo)"
         ));
     }
     if engine != "monte-carlo" {
@@ -148,12 +151,13 @@ fn engine_arg(args: &[String]) -> Result<Box<dyn DetectionProbabilityEngine>, St
             }
         }
     }
-    if engine == "cop" && flag_value(args, "--seed").is_some() {
+    if engine.ends_with("cop") && flag_value(args, "--seed").is_some() {
         return Err("--seed only applies to sampling engines (stafan, monte-carlo)".into());
     }
     let threads: usize = parse_flag(args, "--threads", 0)?;
     let seed: u64 = parse_flag(args, "--seed", 42)?;
     Ok(match engine {
+        "incremental-cop" => Box::new(IncrementalCop::new()),
         "cop" => Box::new(CopEngine::new()),
         "stafan" => Box::new(StafanEngine::new(64 * 256, seed)),
         "monte-carlo" => {
@@ -320,8 +324,14 @@ mod tests {
 
     #[test]
     fn engine_selection() {
-        assert_eq!(engine_arg(&args(&[])).unwrap().name(), "cop");
+        assert_eq!(engine_arg(&args(&[])).unwrap().name(), "incremental-cop");
         assert_eq!(engine_arg(&args(&["--engine", "cop"])).unwrap().name(), "cop");
+        assert_eq!(
+            engine_arg(&args(&["--engine", "incremental-cop"]))
+                .unwrap()
+                .name(),
+            "incremental-cop"
+        );
         assert_eq!(
             engine_arg(&args(&["--engine", "stafan"])).unwrap().name(),
             "stafan"

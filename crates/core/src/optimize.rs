@@ -211,14 +211,13 @@ pub fn optimize(
         for i in 0..num_inputs {
             // PREPARE: engine at x_i = 0 and x_i = 1, both boundary points
             // in one engine call so parallel engines (e.g. the sharded
-            // Monte-Carlo simulator) can reuse their fan-out machinery.
+            // Monte-Carlo simulator) can reuse their fan-out machinery and
+            // incremental engines (IncrementalCop) can restrict the work
+            // to input i's fanout cone.
             let saved = weights[i];
-            weights[i] = 0.0;
-            let at_zero = weights.clone();
-            weights[i] = 1.0;
-            let (p0, p1) = engine.estimate_pair(circuit, &relevant_list, &at_zero, &weights);
+            let (p0, p1) =
+                engine.estimate_coordinate_pair(circuit, &relevant_list, &weights, i);
             engine_calls += 2;
-            weights[i] = saved;
             // MINIMIZE (with optional under-relaxation).
             let problem = CoordinateProblem::new(p0, p1, n_current);
             let optimum = minimize_coordinate(&problem, saved, lo, hi);
@@ -439,6 +438,26 @@ mod tests {
                 (a - 0.5) * (b - 0.5) > 0.0,
                 "pair {i} disagrees: {a} vs {b}"
             );
+        }
+    }
+
+    #[test]
+    fn incremental_engine_reproduces_full_cop_trajectory() {
+        // The optimizer is deterministic, so a bit-identical engine must
+        // produce a bit-identical descent: same weights, same lengths,
+        // same sweep history.
+        use wrt_estimate::IncrementalCop;
+        for circuit in [wide_and(8), equality_circuit(5)] {
+            let faults = FaultList::checkpoints(&circuit);
+            let config = OptimizeConfig::default();
+            let mut full = CopEngine::new();
+            let mut incremental = IncrementalCop::new();
+            let reference = optimize(&circuit, &faults, &mut full, &config);
+            let got = optimize(&circuit, &faults, &mut incremental, &config);
+            assert_eq!(got.weights, reference.weights);
+            assert_eq!(got.final_length.to_bits(), reference.final_length.to_bits());
+            assert_eq!(got.sweeps, reference.sweeps);
+            assert_eq!(got.engine_calls, reference.engine_calls);
         }
     }
 

@@ -9,7 +9,7 @@
 //! ([`crate::signal_probability_bounds`]) brackets that error, and the
 //! statistical engines avoid it.
 
-use wrt_circuit::{Circuit, GateKind, NodeId};
+use wrt_circuit::{Circuit, GateKind, Node, NodeId};
 
 /// One forward pass of signal probabilities.
 ///
@@ -27,31 +27,41 @@ pub fn signal_probabilities_cop(circuit: &Circuit, input_probs: &[f64]) -> Vec<f
     );
     let mut p = vec![0.0f64; circuit.num_nodes()];
     for (id, node) in circuit.iter() {
-        p[id.index()] = match node.kind() {
-            GateKind::Input => input_probs[circuit.input_position(id).expect("input")],
-            GateKind::Const0 => 0.0,
-            GateKind::Const1 => 1.0,
-            GateKind::And => node.fanin().iter().map(|f| p[f.index()]).product(),
-            GateKind::Nand => 1.0 - node.fanin().iter().map(|f| p[f.index()]).product::<f64>(),
-            GateKind::Or => {
-                1.0 - node
-                    .fanin()
-                    .iter()
-                    .map(|f| 1.0 - p[f.index()])
-                    .product::<f64>()
-            }
-            GateKind::Nor => node
-                .fanin()
-                .iter()
-                .map(|f| 1.0 - p[f.index()])
-                .product::<f64>(),
-            GateKind::Xor => xor_prob(node.fanin().iter().map(|f| p[f.index()])),
-            GateKind::Xnor => 1.0 - xor_prob(node.fanin().iter().map(|f| p[f.index()])),
-            GateKind::Not => 1.0 - p[node.fanin()[0].index()],
-            GateKind::Buf => p[node.fanin()[0].index()],
-        };
+        p[id.index()] = node_probability(circuit, id, node, &|k| input_probs[k], &|f: NodeId| {
+            p[f.index()]
+        });
     }
     p
+}
+
+/// The COP recurrence for one node: its signal probability from its fanin
+/// probabilities.
+///
+/// `input_prob` maps a primary-input *position* to its 1-probability; `p`
+/// maps any fanin node to its (already computed) signal probability.  Both
+/// the full pass ([`signal_probabilities_cop`]) and the incremental engine
+/// evaluate nodes through this single function, which is what makes their
+/// results bit-identical.
+pub(crate) fn node_probability(
+    circuit: &Circuit,
+    id: NodeId,
+    node: &Node,
+    input_prob: &impl Fn(usize) -> f64,
+    p: &impl Fn(NodeId) -> f64,
+) -> f64 {
+    match node.kind() {
+        GateKind::Input => input_prob(circuit.input_position(id).expect("input")),
+        GateKind::Const0 => 0.0,
+        GateKind::Const1 => 1.0,
+        GateKind::And => node.fanin().iter().map(|&f| p(f)).product(),
+        GateKind::Nand => 1.0 - node.fanin().iter().map(|&f| p(f)).product::<f64>(),
+        GateKind::Or => 1.0 - node.fanin().iter().map(|&f| 1.0 - p(f)).product::<f64>(),
+        GateKind::Nor => node.fanin().iter().map(|&f| 1.0 - p(f)).product::<f64>(),
+        GateKind::Xor => xor_prob(node.fanin().iter().map(|&f| p(f))),
+        GateKind::Xnor => 1.0 - xor_prob(node.fanin().iter().map(|&f| p(f))),
+        GateKind::Not => 1.0 - p(node.fanin()[0]),
+        GateKind::Buf => p(node.fanin()[0]),
+    }
 }
 
 /// Probability that the XOR of independent bits with probabilities `ps`
@@ -90,52 +100,76 @@ pub fn observabilities_cop(circuit: &Circuit, p: &[f64]) -> (Vec<f64>, Vec<Vec<f
     // Reverse topological order: node ids descending.
     for idx in (0..n).rev() {
         let id = NodeId::from_index(idx);
-        // Stem observability: POs see the node directly; fanout branches
-        // each contribute pin observability at their sink gate.
-        let mut miss = 1.0f64;
-        let mut any_path = false;
-        if circuit.is_output(id) {
-            miss = 0.0;
-            any_path = true;
-        }
-        for &sink in circuit.fanout(id) {
-            for (pin, &f) in circuit.node(sink).fanin().iter().enumerate() {
-                if f == id {
-                    miss *= 1.0 - pin_obs[sink.index()][pin];
-                    any_path = true;
-                }
-            }
-        }
-        obs[idx] = if any_path { 1.0 - miss } else { 0.0 };
+        obs[idx] = stem_observability(circuit, id, &|sink: NodeId, pin: usize| {
+            pin_obs[sink.index()][pin]
+        });
 
         // Pin observabilities of this node's own fanin.
         let node = circuit.node(id);
         let o = obs[idx];
-        let kind = node.kind();
-        let fanin = node.fanin();
         for (pin, slot) in pin_obs[idx].iter_mut().enumerate() {
-            let sens = match kind {
-                GateKind::And | GateKind::Nand => fanin
-                    .iter()
-                    .enumerate()
-                    .filter(|&(k, _)| k != pin)
-                    .map(|(_, f)| p[f.index()])
-                    .product(),
-                GateKind::Or | GateKind::Nor => fanin
-                    .iter()
-                    .enumerate()
-                    .filter(|&(k, _)| k != pin)
-                    .map(|(_, f)| 1.0 - p[f.index()])
-                    .product(),
-                // A change on one XOR input always flips the output.
-                GateKind::Xor | GateKind::Xnor => 1.0,
-                GateKind::Not | GateKind::Buf => 1.0,
-                GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
-            };
-            *slot = o * sens;
+            *slot = o * pin_sensitivity(node, pin, &|f: NodeId| p[f.index()]);
         }
     }
     (obs, pin_obs)
+}
+
+/// Stem observability of one node from its sinks' (already computed) pin
+/// observabilities: POs see the node directly; fanout branches each
+/// contribute pin observability at their sink gate, combined with the
+/// "at least one path" rule.
+///
+/// Shared between the full backward pass ([`observabilities_cop`]) and the
+/// incremental engine so both produce bit-identical values.
+pub(crate) fn stem_observability(
+    circuit: &Circuit,
+    id: NodeId,
+    pin_obs: &impl Fn(NodeId, usize) -> f64,
+) -> f64 {
+    let mut miss = 1.0f64;
+    let mut any_path = false;
+    if circuit.is_output(id) {
+        miss = 0.0;
+        any_path = true;
+    }
+    for &sink in circuit.fanout(id) {
+        for (pin, &f) in circuit.node(sink).fanin().iter().enumerate() {
+            if f == id {
+                miss *= 1.0 - pin_obs(sink, pin);
+                any_path = true;
+            }
+        }
+    }
+    if any_path {
+        1.0 - miss
+    } else {
+        0.0
+    }
+}
+
+/// COP sensitization factor of one gate-input pin: the probability that the
+/// other pins hold non-controlling values (the pin observability is the
+/// gate's stem observability times this factor).
+pub(crate) fn pin_sensitivity(node: &Node, pin: usize, p: &impl Fn(NodeId) -> f64) -> f64 {
+    let fanin = node.fanin();
+    match node.kind() {
+        GateKind::And | GateKind::Nand => fanin
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != pin)
+            .map(|(_, &f)| p(f))
+            .product(),
+        GateKind::Or | GateKind::Nor => fanin
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != pin)
+            .map(|(_, &f)| 1.0 - p(f))
+            .product(),
+        // A change on one XOR input always flips the output.
+        GateKind::Xor | GateKind::Xnor => 1.0,
+        GateKind::Not | GateKind::Buf => 1.0,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+    }
 }
 
 #[cfg(test)]

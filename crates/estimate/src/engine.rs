@@ -1,7 +1,7 @@
 //! The engine abstraction consumed by the optimizer's ANALYSIS step.
 
-use wrt_circuit::Circuit;
-use wrt_fault::{FaultList, FaultSite};
+use wrt_circuit::{Circuit, NodeId};
+use wrt_fault::{Fault, FaultList, FaultSite};
 use wrt_sim::{detection_counts_sharded, WeightedPatterns};
 
 use crate::cop::{observabilities_cop, signal_probabilities_cop};
@@ -50,8 +50,66 @@ pub trait DetectionProbabilityEngine {
         )
     }
 
+    /// Estimates detection probabilities at the two boundary perturbations
+    /// of one coordinate: `p_f(X, x_i = 0)` and `p_f(X, x_i = 1)` for
+    /// `X = weights` — exactly the optimizer's PREPARE query.
+    ///
+    /// The default materializes both perturbed vectors and delegates to
+    /// [`estimate_pair`](Self::estimate_pair); engines with incremental
+    /// state (e.g. [`crate::IncrementalCop`]) override it to recompute only
+    /// input *i*'s fanout cone and the observability region it dirties,
+    /// with identical (bit-identical, for the analytic engines) results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coordinate >= weights.len()` or if `weights.len()` does
+    /// not match the circuit's input count.
+    fn estimate_coordinate_pair(
+        &mut self,
+        circuit: &Circuit,
+        faults: &FaultList,
+        weights: &[f64],
+        coordinate: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut at_zero = weights.to_vec();
+        at_zero[coordinate] = 0.0;
+        let mut at_one = weights.to_vec();
+        at_one[coordinate] = 1.0;
+        self.estimate_pair(circuit, faults, &at_zero, &at_one)
+    }
+
     /// Short human-readable engine name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// The COP detection-probability model for one fault: activation
+/// probability times observability, clamped to `[0, 1]`.
+///
+/// `p`, `obs` and `pin_obs` are lookups into a consistent COP solution
+/// (full arrays for [`CopEngine`], a baseline-plus-overlay view for
+/// [`crate::IncrementalCop`]); routing both engines through this one
+/// function keeps their estimates bit-identical.
+pub(crate) fn cop_fault_probability(
+    circuit: &Circuit,
+    fault: &Fault,
+    p: &impl Fn(NodeId) -> f64,
+    obs: &impl Fn(NodeId) -> f64,
+    pin_obs: &impl Fn(NodeId, usize) -> f64,
+) -> f64 {
+    let (act, o) = match fault.site {
+        FaultSite::Output(node) => {
+            let c1 = p(node);
+            let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
+            (act, obs(node))
+        }
+        FaultSite::InputPin { gate, pin } => {
+            let driver = circuit.node(gate).fanin()[pin];
+            let c1 = p(driver);
+            let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
+            (act, pin_obs(gate, pin))
+        }
+    };
+    (act * o).clamp(0.0, 1.0)
 }
 
 /// Analytic COP-style engine: detection probability ≈ activation
@@ -87,20 +145,13 @@ impl DetectionProbabilityEngine for CopEngine {
         faults
             .iter()
             .map(|(_, fault)| {
-                let (act, o) = match fault.site {
-                    FaultSite::Output(node) => {
-                        let c1 = p[node.index()];
-                        let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
-                        (act, obs[node.index()])
-                    }
-                    FaultSite::InputPin { gate, pin } => {
-                        let driver = circuit.node(gate).fanin()[pin];
-                        let c1 = p[driver.index()];
-                        let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
-                        (act, pin_obs[gate.index()][pin])
-                    }
-                };
-                (act * o).clamp(0.0, 1.0)
+                cop_fault_probability(
+                    circuit,
+                    &fault,
+                    &|n: NodeId| p[n.index()],
+                    &|n: NodeId| obs[n.index()],
+                    &|g: NodeId, pin: usize| pin_obs[g.index()][pin],
+                )
             })
             .collect()
     }

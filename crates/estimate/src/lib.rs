@@ -9,6 +9,10 @@
 //! * [`CopEngine`] — analytic controllability/observability propagation
 //!   (COP-style, the default: fast, handles detection probabilities as
 //!   small as `2^-64` that no sampling method can see);
+//! * [`IncrementalCop`] — the same model with an incremental,
+//!   cone-restricted evaluation strategy (bit-identical estimates) that
+//!   answers the optimizer's single-coordinate PREPARE queries in
+//!   O(fanout cone) instead of O(circuit);
 //! * [`StafanEngine`] — STAFAN-style statistical counting on a fault-free
 //!   bit-parallel sample \[AgJa84\];
 //! * [`MonteCarloEngine`] — direct PPSFP fault-simulation sampling;
@@ -45,6 +49,7 @@ mod cutting;
 mod engine;
 mod exact;
 mod hybrid;
+mod incremental;
 mod redundancy;
 mod stafan;
 
@@ -56,5 +61,6 @@ pub use engine::{
     CopEngine, DetectionProbabilityEngine, ExactEngine, MonteCarloEngine, StafanEngine,
 };
 pub use exact::{exact_detection_probability, exact_signal_probability};
+pub use incremental::{IncrementalCop, IncrementalStats};
 pub use redundancy::constant_line_faults;
 pub use stafan::StafanCounts;

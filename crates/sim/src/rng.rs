@@ -62,8 +62,17 @@ impl Xoshiro256 {
 
     /// A word whose 64 bits are each independently 1 with probability `p`.
     ///
-    /// Implemented by comparing a fresh 53-bit uniform draw against `p` per
-    /// bit; exactness of the per-bit probability matters more here than
+    /// Dyadic probabilities `p = m / 2^k` (k ≤ 32) take an exact fast
+    /// path: one uniform word per binary digit of `p`, folded with the
+    /// standard AND/OR digit construction — processing the digits from
+    /// least to most significant, `word := uniform OR word` realizes a
+    /// 1-digit and `word := uniform AND word` a 0-digit, which halves and
+    /// shifts the accumulated probability so that each lane is 1 with
+    /// *exactly* probability `p`.  `p = 0.5` therefore still costs a
+    /// single draw, `0.25` two, and the optimizer-relevant dyadic grid
+    /// never touches the scalar path.  Non-dyadic `p` falls back to
+    /// comparing a fresh 53-bit uniform draw against `p` per bit;
+    /// exactness of the per-bit probability matters more here than
     /// throughput, since weighted patterns drive all coverage experiments.
     pub fn weighted_word(&mut self, p: f64) -> u64 {
         if p <= 0.0 {
@@ -72,9 +81,24 @@ impl Xoshiro256 {
         if p >= 1.0 {
             return u64::MAX;
         }
-        // Fast path for exactly 1/2: one draw for 64 bits.
-        if p == 0.5 {
-            return self.next_u64();
+        // Scaling by a power of two is exact in IEEE-754, so a zero
+        // fractional part identifies p = m / 2^32 without error.
+        let scaled = p * (1u64 << 32) as f64;
+        if scaled.fract() == 0.0 {
+            let mut m = scaled as u64;
+            let flat = m.trailing_zeros();
+            m >>= flat; // p = m / 2^k with m odd
+            let k = 32 - flat;
+            let mut word = 0u64;
+            for digit in 0..k {
+                let uniform = self.next_u64();
+                word = if (m >> digit) & 1 == 1 {
+                    uniform | word
+                } else {
+                    uniform & word
+                };
+            }
+            return word;
         }
         let mut word = 0u64;
         for bit in 0..64 {
@@ -142,6 +166,63 @@ mod tests {
                 "p = {p}, measured = {frac}"
             );
         }
+    }
+
+    #[test]
+    fn dyadic_fast_path_tracks_probability() {
+        let mut r = Xoshiro256::seed_from(23);
+        for &(p, digits) in &[
+            (0.5, 1u32),
+            (0.25, 2),
+            (0.75, 2),
+            (0.375, 3),
+            (0.9375, 4),
+            (1.0 / 1024.0, 10),
+            (1.0 - 1.0 / 4096.0, 12),
+        ] {
+            let words = 4000u32;
+            let ones: u64 = (0..words)
+                .map(|_| u64::from(r.weighted_word(p).count_ones()))
+                .sum();
+            let total = f64::from(words) * 64.0;
+            let frac = ones as f64 / total;
+            let sigma = (p * (1.0 - p) / total).sqrt();
+            assert!(
+                (frac - p).abs() < 6.0 * sigma.max(1e-4),
+                "p = {p} ({digits} digits), measured = {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn dyadic_fast_path_consumes_one_draw_per_digit() {
+        // p = 3/8 has three binary digits: the generator state must
+        // advance by exactly three uniform words (the legacy scalar path
+        // burned 64 draws for any non-half p).
+        let mut a = Xoshiro256::seed_from(555);
+        let mut b = a.clone();
+        let _ = a.weighted_word(0.375);
+        for _ in 0..3 {
+            b.next_u64();
+        }
+        assert_eq!(a, b);
+        // And p = 0.5 still costs a single draw.
+        let _ = a.weighted_word(0.5);
+        b.next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_dyadic_p_uses_the_exact_scalar_path() {
+        // 0.3 is not representable as m / 2^32: one 53-bit comparison per
+        // bit, i.e. 64 draws.
+        let mut a = Xoshiro256::seed_from(9);
+        let mut b = a.clone();
+        let _ = a.weighted_word(0.3);
+        for _ in 0..64 {
+            b.next_u64();
+        }
+        assert_eq!(a, b);
     }
 
     #[test]
