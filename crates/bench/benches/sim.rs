@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use wrt_fault::FaultList;
 use wrt_sim::{
-    fault_coverage, fault_coverage_sharded, LogicSim, PatternSource, WeightedPatterns,
+    fault_coverage, fault_coverage_opts, fault_coverage_sharded, LogicSim, PatternSource,
+    SimOptions, WeightedPatterns,
 };
 
 fn logic_sim(c: &mut Criterion) {
@@ -81,5 +82,47 @@ fn sharded_fault_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, logic_sim, fault_sim, sharded_fault_sim);
+/// Dense cone walk vs event-driven sparse propagation at each superblock
+/// width (results are bit-identical; only the wall clock changes).
+fn event_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_fault_sim");
+    group.sample_size(10);
+    for name in ["c2670ish", "c7552ish"] {
+        let circuit = wrt_workloads::by_name(name).expect("registered");
+        let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
+        let patterns = 1024u64;
+        group.throughput(Throughput::Elements(patterns * faults.len() as u64));
+        group.bench_function(BenchmarkId::new("dense", name), |b| {
+            b.iter(|| {
+                let source = WeightedPatterns::equiprobable(circuit.num_inputs(), 7);
+                black_box(fault_coverage_opts(
+                    &circuit,
+                    &faults,
+                    source,
+                    patterns,
+                    true,
+                    SimOptions::dense(),
+                ))
+            });
+        });
+        for words in [1usize, 4, 8] {
+            group.bench_function(BenchmarkId::new(format!("event_w{words}"), name), |b| {
+                b.iter(|| {
+                    let source = WeightedPatterns::equiprobable(circuit.num_inputs(), 7);
+                    black_box(fault_coverage_opts(
+                        &circuit,
+                        &faults,
+                        source,
+                        patterns,
+                        true,
+                        SimOptions::event(words),
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, logic_sim, fault_sim, sharded_fault_sim, event_fault_sim);
 criterion_main!(benches);

@@ -1,24 +1,34 @@
-//! Machine-readable PPSFP throughput benchmark: serial vs sharded.
+//! Machine-readable PPSFP benchmark: dense cone walk vs event-driven
+//! sparse propagation over multi-word superblocks.
 //!
-//! Writes `BENCH_sim.json` (circuit, fault count, patterns/sec for the
-//! serial and sharded engines, thread count, speedup, and a bit-identity
-//! check), so the perf trajectory of the fault simulator is tracked in a
-//! machine-readable artifact from PR to PR.
+//! Writes `BENCH_sim.json`.  The headline metric is **machine-independent**:
+//! gate evaluations per detected fault, dense vs event (`eval_reduction`).
+//! That headline combines two effects — sparse scheduling (only nodes the
+//! fault effect reaches are evaluated, stopping when the frontier dies)
+//! and superblock amortization (one `[u64; W]` evaluation covers `W`
+//! dense blocks' worth of patterns) — so the artifact also records an
+//! event run at `W = 1` (`sparsity_reduction`) to separate the two, the
+//! frontier die-out rate, and a bit-identity check of all engines'
+//! coverage results.  Wall-clock fields depend on the host and are
+//! reported alongside.
 //!
 //! Run with `cargo run --release -p wrt-bench --bin bench_sim`.
 //!
 //! ```text
-//! bench_sim [--patterns N] [--threads T] [--circuits a,b,...] [--out PATH]
+//! bench_sim [--patterns N] [--block-words W] [--threads T]
+//!           [--circuits a,b,...] [--out PATH] [--smoke]
 //! ```
 //!
-//! Defaults: 2048 patterns, 4 threads, the two largest workload circuits,
-//! `BENCH_sim.json` in the current directory.
+//! Defaults: 2048 patterns, `W = 4` (256 patterns per event pass), 4
+//! threads for the sharded-event row, the four large workload circuits,
+//! `BENCH_sim.json` in the current directory.  `--smoke` runs a
+//! scaled-down version for CI (small circuits, few patterns).
 
 use std::time::Instant;
 
 use wrt_circuit::Circuit;
 use wrt_fault::FaultList;
-use wrt_sim::{available_threads, fault_coverage, fault_coverage_sharded, WeightedPatterns};
+use wrt_sim::{available_threads, fault_coverage_opts, SimOptions, SimStats, WeightedPatterns};
 
 const SEED: u64 = 0xC0DE;
 
@@ -27,40 +37,82 @@ struct Row {
     inputs: usize,
     gates: usize,
     faults: usize,
+    detected: usize,
     patterns: u64,
+    block_words: usize,
     threads: usize,
-    serial_seconds: f64,
-    sharded_seconds: f64,
+    dense_seconds: f64,
+    event_seconds: f64,
+    event_sharded_seconds: f64,
+    dense_stats: SimStats,
+    event_stats: SimStats,
+    /// Event engine at `W = 1`: same block granularity as dense, so the
+    /// eval ratio against it isolates the pure scheduling-sparsity win.
+    event_w1_stats: SimStats,
     identical: bool,
 }
 
 impl Row {
-    fn serial_pps(&self) -> f64 {
-        self.patterns as f64 / self.serial_seconds
+    fn dense_evals_per_detected(&self) -> f64 {
+        self.dense_stats.node_evals as f64 / self.detected.max(1) as f64
     }
 
-    fn sharded_pps(&self) -> f64 {
-        self.patterns as f64 / self.sharded_seconds
+    fn event_evals_per_detected(&self) -> f64 {
+        self.event_stats.node_evals as f64 / self.detected.max(1) as f64
     }
 
-    fn speedup(&self) -> f64 {
-        self.serial_seconds / self.sharded_seconds
+    /// The machine-independent headline: dense ÷ event gate evaluations.
+    /// Combines scheduling sparsity with superblock amortization; see
+    /// [`Row::sparsity_reduction`] for the sparsity share alone.
+    fn eval_reduction(&self) -> f64 {
+        self.dense_stats.node_evals as f64 / self.event_stats.node_evals.max(1) as f64
+    }
+
+    /// Dense ÷ event-at-`W = 1` gate evaluations: both engines work in
+    /// 64-pattern blocks here, so this is the pure event-scheduling win
+    /// (nodes the fault effect never reaches are never evaluated).
+    fn sparsity_reduction(&self) -> f64 {
+        self.dense_stats.node_evals as f64 / self.event_w1_stats.node_evals.max(1) as f64
+    }
+
+    /// Scheduled (event, at the benchmarked `W`) vs cone (dense, `W = 1`)
+    /// node evaluations — the inverse of `eval_reduction`.  Note the two
+    /// sides run at different block granularities, so this folds the
+    /// 1/`W` pass-count amortization into the per-cone reach; the
+    /// equal-granularity reach fraction is `1 / sparsity_reduction`.
+    fn scheduled_vs_cone_ratio(&self) -> f64 {
+        self.event_stats.node_evals as f64 / self.dense_stats.node_evals.max(1) as f64
+    }
+
+    fn wall_speedup(&self) -> f64 {
+        self.dense_seconds / self.event_seconds
     }
 
     fn to_json(&self) -> String {
         format!(
-            "    {{\n      \"circuit\": \"{}\",\n      \"inputs\": {},\n      \"gates\": {},\n      \"faults\": {},\n      \"patterns\": {},\n      \"threads\": {},\n      \"serial_seconds\": {:.6},\n      \"sharded_seconds\": {:.6},\n      \"serial_patterns_per_sec\": {:.1},\n      \"sharded_patterns_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"bit_identical\": {}\n    }}",
+            "    {{\n      \"circuit\": \"{}\",\n      \"inputs\": {},\n      \"gates\": {},\n      \"faults\": {},\n      \"detected_faults\": {},\n      \"patterns\": {},\n      \"block_words\": {},\n      \"dense_seconds\": {:.6},\n      \"event_seconds\": {:.6},\n      \"wall_speedup\": {:.3},\n      \"dense_node_evals\": {},\n      \"event_node_evals\": {},\n      \"event_w1_node_evals\": {},\n      \"dense_evals_per_detected\": {:.1},\n      \"event_evals_per_detected\": {:.1},\n      \"eval_reduction\": {:.3},\n      \"sparsity_reduction\": {:.3},\n      \"scheduled_vs_cone_ratio\": {:.4},\n      \"frontier_dieout_rate\": {:.4},\n      \"unexcited_rate\": {:.4},\n      \"threads\": {},\n      \"event_sharded_seconds\": {:.6},\n      \"bit_identical\": {}\n    }}",
             self.circuit,
             self.inputs,
             self.gates,
             self.faults,
+            self.detected,
             self.patterns,
+            self.block_words,
+            self.dense_seconds,
+            self.event_seconds,
+            self.wall_speedup(),
+            self.dense_stats.node_evals,
+            self.event_stats.node_evals,
+            self.event_w1_stats.node_evals,
+            self.dense_evals_per_detected(),
+            self.event_evals_per_detected(),
+            self.eval_reduction(),
+            self.sparsity_reduction(),
+            self.scheduled_vs_cone_ratio(),
+            self.event_stats.frontier_dieout_rate(),
+            self.event_stats.unexcited as f64 / self.event_stats.fault_blocks.max(1) as f64,
             self.threads,
-            self.serial_seconds,
-            self.sharded_seconds,
-            self.serial_pps(),
-            self.sharded_pps(),
-            self.speedup(),
+            self.event_sharded_seconds,
             self.identical,
         )
     }
@@ -78,24 +130,49 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, result)
 }
 
-fn bench_circuit(circuit: &Circuit, patterns: u64, threads: usize) -> Row {
+fn bench_circuit(circuit: &Circuit, patterns: u64, block_words: usize, threads: usize) -> Row {
     let faults = FaultList::checkpoints(circuit).collapse_equivalent(circuit);
     let source = || WeightedPatterns::equiprobable(circuit.num_inputs(), SEED);
-    let (serial_seconds, serial) =
-        time_best(2, || fault_coverage(circuit, &faults, source(), patterns, true));
-    let (sharded_seconds, sharded) = time_best(2, || {
-        fault_coverage_sharded(circuit, &faults, source(), patterns, true, threads)
+    let (dense_seconds, (dense, dense_stats)) = time_best(2, || {
+        fault_coverage_opts(circuit, &faults, source(), patterns, true, SimOptions::dense())
+    });
+    let event_opts = SimOptions::event(block_words);
+    let (event_seconds, (event, event_stats)) = time_best(2, || {
+        fault_coverage_opts(circuit, &faults, source(), patterns, true, event_opts)
+    });
+    // One untimed event pass at W = 1: same block granularity as dense,
+    // isolating the scheduling-sparsity share of the eval reduction.
+    let (event_w1, event_w1_stats) =
+        fault_coverage_opts(circuit, &faults, source(), patterns, true, SimOptions::event(1));
+    let (event_sharded_seconds, (event_sharded, _)) = time_best(2, || {
+        wrt_sim::fault_coverage_sharded_opts(
+            circuit,
+            &faults,
+            source(),
+            patterns,
+            true,
+            threads,
+            event_opts,
+        )
     });
     Row {
         circuit: circuit.name().to_string(),
         inputs: circuit.num_inputs(),
         gates: circuit.num_gates(),
         faults: faults.len(),
+        detected: dense.num_detected(),
         patterns,
+        block_words,
         threads,
-        serial_seconds,
-        sharded_seconds,
-        identical: serial.detected_at() == sharded.detected_at(),
+        dense_seconds,
+        event_seconds,
+        event_sharded_seconds,
+        dense_stats,
+        event_stats,
+        event_w1_stats,
+        identical: dense.detected_at() == event.detected_at()
+            && dense.detected_at() == event_w1.detected_at()
+            && dense.detected_at() == event_sharded.detected_at(),
     }
 }
 
@@ -108,35 +185,53 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let patterns: u64 = flag(&args, "--patterns")
         .map(|v| v.parse().expect("--patterns N"))
-        .unwrap_or(2048);
+        .unwrap_or(if smoke { 512 } else { 2048 });
+    let block_words: usize = flag(&args, "--block-words")
+        .map(|v| v.parse().expect("--block-words W"))
+        .unwrap_or(4);
     let threads: usize = flag(&args, "--threads")
         .map(|v| v.parse().expect("--threads T"))
         .unwrap_or(4);
     let out = flag(&args, "--out").unwrap_or("BENCH_sim.json").to_string();
     let circuits: Vec<String> = flag(&args, "--circuits")
         .map(|v| v.split(',').map(str::to_string).collect())
-        .unwrap_or_else(|| vec!["c5315ish".into(), "c6288ish".into(), "c7552ish".into()]);
+        .unwrap_or_else(|| {
+            if smoke {
+                vec!["s1".into(), "c880ish".into()]
+            } else {
+                vec![
+                    "c2670ish".into(),
+                    "c5315ish".into(),
+                    "c6288ish".into(),
+                    "c7552ish".into(),
+                ]
+            }
+        });
 
     println!(
-        "PPSFP serial vs sharded ({patterns} patterns, {threads} threads, \
-         {} cores available)",
+        "PPSFP dense vs event-driven ({patterns} patterns, W = {block_words}, \
+         {threads} threads for the sharded row, {} cores available)",
         available_threads()
     );
     let mut rows = Vec::new();
     for name in &circuits {
         let circuit = wrt_workloads::by_name(name)
             .unwrap_or_else(|| panic!("unknown workload `{name}`"));
-        let row = bench_circuit(&circuit, patterns, threads);
+        let row = bench_circuit(&circuit, patterns, block_words, threads);
         println!(
-            "  {:<10} {:>6} faults  serial {:>10.1} pat/s  sharded {:>10.1} pat/s  \
-             speedup {:.2}x  identical {}",
+            "  {:<10} {:>6} faults  evals/detected: dense {:>9.1} event {:>8.1} \
+             ({:.2}x fewer; {:.2}x from sparsity)  die-out {:>5.1} %  wall {:.2}x  identical {}",
             row.circuit,
             row.faults,
-            row.serial_pps(),
-            row.sharded_pps(),
-            row.speedup(),
+            row.dense_evals_per_detected(),
+            row.event_evals_per_detected(),
+            row.eval_reduction(),
+            row.sparsity_reduction(),
+            row.event_stats.frontier_dieout_rate() * 100.0,
+            row.wall_speedup(),
             row.identical,
         );
         rows.push(row);
@@ -144,10 +239,12 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"ppsfp_serial_vs_sharded\",\n  \"patterns\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"ppsfp_dense_vs_event\",\n  \"note\": \"eval_reduction is the machine-independent headline: gate evaluations per detected fault, dense cone walk (64-pattern blocks) vs event-driven propagation at block_words-word superblocks, over the identical pattern stream. It combines two effects: scheduling sparsity (only nodes the fault effect reaches are evaluated, stopping when the frontier drains - frontier_dieout_rate of excited passes died before a PO) and superblock amortization (one [u64; W] evaluation covers W dense blocks; each event eval does W words of lane work). sparsity_reduction (dense vs event at W = 1, equal granularity) isolates the sparsity share; scheduled_vs_cone_ratio = event/dense evals at the benchmarked W folds both effects. bit_identical asserts dense, event-W1, event, and sharded-event coverage agree exactly. Wall-clock fields are host-dependent; event_sharded_seconds uses `threads` workers and is fan-out overhead on a 1-core container.\",\n  \"patterns\": {},\n  \"block_words\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         patterns,
+        block_words,
         threads,
         available_threads(),
+        smoke,
         body.join(",\n"),
     );
     std::fs::write(&out, json).expect("write BENCH_sim.json");

@@ -230,11 +230,31 @@ impl CircuitBuilder {
         if self.outputs.is_empty() {
             return Err(BuildCircuitError::NoOutputs);
         }
-        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        // Fanout lists in CSR layout: count, prefix-sum, fill.  Sinks are
+        // visited in ascending id order, so each node's fanout slice comes
+        // out sorted without an explicit sort.
+        let mut fanout_offsets = vec![0u32; self.nodes.len() + 1];
+        for node in &self.nodes {
+            for &f in node.fanin.iter() {
+                fanout_offsets[f.index() + 1] += 1;
+            }
+        }
+        for i in 1..fanout_offsets.len() {
+            fanout_offsets[i] += fanout_offsets[i - 1];
+        }
+        let num_edges = *fanout_offsets.last().expect("offsets non-empty") as usize;
+        let mut fanout_data = vec![NodeId::from_index(0); num_edges];
+        let mut cursor: Vec<u32> = fanout_offsets[..self.nodes.len()].to_vec();
         for (i, node) in self.nodes.iter().enumerate() {
             for &f in node.fanin.iter() {
-                fanouts[f.index()].push(NodeId::from_index(i));
+                let c = &mut cursor[f.index()];
+                fanout_data[*c as usize] = NodeId::from_index(i);
+                *c += 1;
             }
+        }
+        let mut output_flags = vec![false; self.nodes.len()];
+        for o in &self.outputs {
+            output_flags[o.index()] = true;
         }
         let mut input_position = vec![usize::MAX; self.nodes.len()];
         for (pos, id) in self.inputs.iter().enumerate() {
@@ -248,7 +268,9 @@ impl CircuitBuilder {
             nodes: self.nodes,
             inputs: self.inputs,
             outputs: self.outputs,
-            fanouts,
+            fanout_offsets,
+            fanout_data,
+            output_flags,
             name_index: self.name_index,
             input_position,
             levels,

@@ -93,8 +93,14 @@ pub struct Circuit {
     pub(crate) nodes: Vec<Node>,
     pub(crate) inputs: Vec<NodeId>,
     pub(crate) outputs: Vec<NodeId>,
-    /// `fanouts[i]` lists all nodes that have node `i` in their fanin.
-    pub(crate) fanouts: Vec<Vec<NodeId>>,
+    /// Fanout lists in CSR layout: the sinks of node `i` are
+    /// `fanout_data[fanout_offsets[i]..fanout_offsets[i + 1]]`, in
+    /// ascending sink-id order.  One flat allocation keeps the per-node
+    /// fanout walks of event-driven simulation cache-friendly.
+    pub(crate) fanout_offsets: Vec<u32>,
+    pub(crate) fanout_data: Vec<NodeId>,
+    /// `output_flags[i]` is true when node `i` is a primary output.
+    pub(crate) output_flags: Vec<bool>,
     pub(crate) name_index: HashMap<String, NodeId>,
     /// Position of each primary input in `inputs`, by node index
     /// (`usize::MAX` for non-inputs).
@@ -169,9 +175,18 @@ impl Circuit {
         &self.outputs
     }
 
-    /// The nodes driven by `id` (its fanout), in declaration order.
+    /// The nodes driven by `id` (its fanout), in ascending id order.
     pub fn fanout(&self, id: NodeId) -> &[NodeId] {
-        &self.fanouts[id.index()]
+        let i = id.index();
+        let lo = self.fanout_offsets[i] as usize;
+        let hi = self.fanout_offsets[i + 1] as usize;
+        &self.fanout_data[lo..hi]
+    }
+
+    /// Total number of fanout edges (equivalently, fanin edges) in the
+    /// circuit.
+    pub fn num_edges(&self) -> usize {
+        self.fanout_data.len()
     }
 
     /// Looks a node up by name.
@@ -185,9 +200,9 @@ impl Circuit {
         (p != usize::MAX).then_some(p)
     }
 
-    /// Whether `id` is a primary output.
+    /// Whether `id` is a primary output (`O(1)` bitmap lookup).
     pub fn is_output(&self, id: NodeId) -> bool {
-        self.outputs.contains(&id)
+        self.output_flags[id.index()]
     }
 
     /// The levelization of the circuit (see [`Levels`]).
@@ -271,6 +286,31 @@ mod tests {
         assert_eq!(c.input_position(g), None);
         assert!(c.is_output(g));
         assert!(!c.is_output(a));
+    }
+
+    #[test]
+    fn csr_fanouts_cover_every_fanin_edge() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.input("x");
+        let n = b.gate(GateKind::Not, "n", &[a]).unwrap();
+        let g = b.gate(GateKind::And, "g", &[a, n, x]).unwrap();
+        let h = b.gate(GateKind::Xor, "h", &[a, a]).unwrap(); // duplicate fanin
+        b.mark_output(g);
+        b.mark_output(h);
+        let c = b.build().unwrap();
+        // Every fanin edge appears exactly once in the driver's fanout list.
+        let total: usize = c.ids().map(|id| c.fanout(id).len()).sum();
+        let fanin_edges: usize = c.iter().map(|(_, n)| n.fanin().len()).sum();
+        assert_eq!(total, fanin_edges);
+        assert_eq!(c.num_edges(), fanin_edges);
+        assert_eq!(c.fanout(a), &[n, g, h, h]); // ascending, duplicates kept
+        // Fanout slices are ascending (CSR fill visits sinks in id order).
+        for id in c.ids() {
+            for w in c.fanout(id).windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use wrt_estimate::{
     MonteCarloEngine, StafanEngine,
 };
 use wrt_fault::FaultList;
-use wrt_sim::{fault_coverage_sharded, WeightedPatterns};
+use wrt_sim::{fault_coverage_sharded_opts, SimEngineKind, SimOptions, WeightedPatterns};
 
 pub const USAGE: &str = "usage: wrt <command> [args]
 
@@ -22,6 +22,12 @@ commands:
            recompute, bit-identical to cop) | cop | stafan | monte-carlo
            (--seed and --mc-patterns apply to the sampling engines)
   simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
+           [--engine dense|event] [--block-words W]
+           weighted-random fault simulation;
+           --engine event (default) runs event-driven sparse propagation
+           over W-word superblocks (--block-words 1|2|4|8, default 4);
+           --engine dense is the single-word reference cone walk.
+           Coverage is bit-identical for every engine/width/thread choice.
   atpg     <circuit> [--backtracks B]             deterministic test generation
   workloads                                       list built-in circuits
 
@@ -224,17 +230,49 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         }
     };
     let threads: usize = parse_flag(args, "--threads", 0)?;
+    let opts = sim_options_arg(args)?;
     let faults = experiment_faults(&circuit);
-    let result = fault_coverage_sharded(
+    let (result, stats) = fault_coverage_sharded_opts(
         &circuit,
         &faults,
         WeightedPatterns::new(weights, seed),
         patterns,
         true,
         threads,
+        opts,
     );
     println!("{result}");
+    let detected = result.num_detected();
+    if detected > 0 {
+        println!(
+            "engine {}: {} gate evals ({:.1} per detected fault, {:.1} % frontier die-out)",
+            opts.engine,
+            stats.node_evals,
+            stats.node_evals as f64 / detected as f64,
+            stats.frontier_dieout_rate() * 100.0,
+        );
+    }
     Ok(())
+}
+
+/// Parses the simulate subcommand's `--engine dense|event` and
+/// `--block-words W` into validated [`SimOptions`].
+fn sim_options_arg(args: &[String]) -> Result<SimOptions, String> {
+    let engine: SimEngineKind = match flag_value(args, "--engine") {
+        None => SimEngineKind::Event,
+        Some(raw) => raw.parse()?,
+    };
+    let default_words = match engine {
+        SimEngineKind::Event => 4,
+        SimEngineKind::Dense => 1,
+    };
+    let block_words: usize = parse_flag(args, "--block-words", default_words)?;
+    let opts = SimOptions {
+        engine,
+        block_words,
+    };
+    opts.validate()?;
+    Ok(opts)
 }
 
 pub fn atpg(args: &[String]) -> Result<(), String> {
@@ -312,6 +350,29 @@ mod tests {
     fn simulate_rejects_wrong_weight_count() {
         let a = args(&["c880ish", "--patterns", "64", "--weights", "0.5,0.5"]);
         assert!(simulate(&a).is_err());
+    }
+
+    #[test]
+    fn simulate_sim_engine_flags() {
+        assert_eq!(sim_options_arg(&args(&[])).unwrap(), SimOptions::event(4));
+        assert_eq!(
+            sim_options_arg(&args(&["--engine", "dense"])).unwrap(),
+            SimOptions::dense()
+        );
+        assert_eq!(
+            sim_options_arg(&args(&["--engine", "event", "--block-words", "8"])).unwrap(),
+            SimOptions::event(8)
+        );
+        assert!(sim_options_arg(&args(&["--engine", "dense", "--block-words", "4"])).is_err());
+        assert!(sim_options_arg(&args(&["--block-words", "3"])).is_err());
+        assert!(sim_options_arg(&args(&["--engine", "psychic"])).is_err());
+        // End-to-end: both engines run and the widths are accepted.
+        for engine in ["dense", "event"] {
+            let a = args(&["c880ish", "--patterns", "256", "--engine", engine]);
+            assert!(simulate(&a).is_ok(), "--engine {engine}");
+        }
+        let a = args(&["c880ish", "--patterns", "256", "--engine", "event", "--block-words", "2"]);
+        assert!(simulate(&a).is_ok());
     }
 
     #[test]

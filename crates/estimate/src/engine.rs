@@ -2,7 +2,7 @@
 
 use wrt_circuit::{Circuit, NodeId};
 use wrt_fault::{Fault, FaultList, FaultSite};
-use wrt_sim::{detection_counts_sharded, WeightedPatterns};
+use wrt_sim::{detection_counts_sharded_opts, SimOptions, WeightedPatterns};
 
 use crate::cop::{observabilities_cop, signal_probabilities_cop};
 use crate::exact::exact_detection_probability;
@@ -211,9 +211,12 @@ impl DetectionProbabilityEngine for StafanEngine {
 /// Unbiased but blind to probabilities below `≈ 1 / patterns`.
 ///
 /// The simulation fans out over the sharded PPSFP engine
-/// ([`wrt_sim::detection_counts_sharded`]): `threads` worker threads each
-/// own one cone-locality-aware fault shard.  Thread count does not affect
-/// the estimates — the sharded engine is bit-identical to the serial one.
+/// ([`wrt_sim::detection_counts_sharded_opts`]): `threads` worker threads
+/// each own one cone-locality-aware fault shard, and each worker runs the
+/// inner loop selected by `sim_options` — by default the event-driven
+/// superblock engine ([`SimOptions::default`]).  Neither thread count nor
+/// engine choice affects the estimates: all combinations are bit-identical
+/// to the serial dense reference.
 #[derive(Debug, Clone)]
 pub struct MonteCarloEngine {
     /// Number of simulated patterns per call.
@@ -222,16 +225,20 @@ pub struct MonteCarloEngine {
     pub seed: u64,
     /// Fault-simulation worker threads (`1` = serial, `0` = all cores).
     pub threads: usize,
+    /// PPSFP inner loop (engine kind and superblock width).
+    pub sim_options: SimOptions,
     calls: u64,
 }
 
 impl MonteCarloEngine {
-    /// Creates a serial engine simulating `patterns` patterns per call.
+    /// Creates a serial engine simulating `patterns` patterns per call
+    /// with the default (event-driven) inner loop.
     pub fn new(patterns: u64, seed: u64) -> Self {
         MonteCarloEngine {
             patterns,
             seed,
             threads: 1,
+            sim_options: SimOptions::default(),
             calls: 0,
         }
     }
@@ -239,6 +246,13 @@ impl MonteCarloEngine {
     /// Sets the fault-simulation thread count (`0` = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the PPSFP inner loop (estimates are identical either way;
+    /// only the wall clock changes).
+    pub fn with_sim_options(mut self, sim_options: SimOptions) -> Self {
+        self.sim_options = sim_options;
         self
     }
 }
@@ -255,8 +269,14 @@ impl DetectionProbabilityEngine for MonteCarloEngine {
             input_probs.to_vec(),
             self.seed.wrapping_add(self.calls.wrapping_mul(0x2545_F491)),
         );
-        let counts =
-            detection_counts_sharded(circuit, faults, source, self.patterns, self.threads);
+        let (counts, _) = detection_counts_sharded_opts(
+            circuit,
+            faults,
+            source,
+            self.patterns,
+            self.threads,
+            self.sim_options,
+        );
         counts
             .into_iter()
             .map(|c| c as f64 / self.patterns as f64)
@@ -288,6 +308,7 @@ impl DetectionProbabilityEngine for MonteCarloEngine {
             );
         }
         let patterns = self.patterns;
+        let sim_options = self.sim_options;
         let mut source_for = |probs: &[f64]| {
             self.calls += 1;
             WeightedPatterns::new(
@@ -308,9 +329,15 @@ impl DetectionProbabilityEngine for MonteCarloEngine {
         };
         std::thread::scope(|scope| {
             let b = scope.spawn(|| {
-                detection_counts_sharded(circuit, faults, source_b, patterns, threads_b)
+                detection_counts_sharded_opts(
+                    circuit, faults, source_b, patterns, threads_b, sim_options,
+                )
+                .0
             });
-            let a = detection_counts_sharded(circuit, faults, source_a, patterns, threads_a);
+            let a = detection_counts_sharded_opts(
+                circuit, faults, source_a, patterns, threads_a, sim_options,
+            )
+            .0;
             (
                 to_probs(a),
                 to_probs(b.join().expect("estimate_pair worker panicked")),
@@ -447,6 +474,22 @@ mod tests {
                 .with_threads(threads)
                 .estimate(&c, &faults, &probs);
             assert_eq!(serial, sharded, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_sim_options_do_not_change_estimates() {
+        let c = tree();
+        let faults = FaultList::full(&c);
+        let probs = [0.4, 0.5, 0.6];
+        let dense = MonteCarloEngine::new(64 * 20, 9)
+            .with_sim_options(SimOptions::dense())
+            .estimate(&c, &faults, &probs);
+        for words in wrt_sim::SUPPORTED_BLOCK_WORDS {
+            let event = MonteCarloEngine::new(64 * 20, 9)
+                .with_sim_options(SimOptions::event(words))
+                .estimate(&c, &faults, &probs);
+            assert_eq!(dense, event, "block_words = {words}");
         }
     }
 

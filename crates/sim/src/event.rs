@@ -1,0 +1,1170 @@
+//! Event-driven sparse PPSFP fault propagation over multi-word superblocks.
+//!
+//! The dense engine ([`crate::FaultSimulator`]) re-evaluates **every node
+//! of a fault's output cone** for every 64-pattern block, even when the
+//! fault effect dies one gate past the injection site.  The engine here
+//! replaces that cone walk with *event scheduling*: a node whose faulty
+//! value differs from the fault-free value pushes only its fanouts onto a
+//! level-ordered ready set, untouched-fanin nodes are never evaluated, and
+//! propagation terminates the moment the active frontier drains.  Faults
+//! whose effects die early cost `O(frontier)` instead of `O(cone)`.
+//!
+//! On top of that, blocks are widened from one `u64` to `W ∈ {1, 2, 4, 8}`
+//! words ([`SuperBlock`]): each scheduled node evaluates `64 * W` patterns
+//! at once through fixed-size `[u64; W]` lanes
+//! ([`crate::eval_gate_lanes`]), amortizing the scheduling and good-value
+//! lookups across `W`× more patterns and giving the autovectorizer
+//! straight-line SIMD bodies.
+//!
+//! # Event queue invariants
+//!
+//! The ready set is a vector of per-level buckets reused across faults:
+//!
+//! 1. **Monotone levels.**  A node is only ever scheduled by one of its
+//!    fanins (or the injection root), whose level is strictly smaller, so
+//!    scheduling always targets a level *above* the bucket currently being
+//!    drained.  Draining buckets in increasing level order therefore
+//!    evaluates every node after all of its touched fanins — the same
+//!    order guarantee the dense engine gets from topologically sorted
+//!    cones.
+//! 2. **At-most-once scheduling.**  `queued[n] == epoch` marks nodes
+//!    already in the ready set for the current (fault, superblock) pass;
+//!    re-touching a fanin of `n` does not enqueue `n` twice.  A level
+//!    enters the min-heap of occupied levels exactly when its bucket
+//!    turns non-empty, so the drain loop hops directly between occupied
+//!    levels — empty levels of a deep circuit cost nothing.
+//! 3. **Termination.**  The sweep stops the moment the occupied-level
+//!    heap drains, so a fault effect that dies after `k` gates costs `k`
+//!    evaluations plus `O(k log k)` heap traffic — never a full cone
+//!    walk.
+//! 4. **Epoch reuse.**  Buckets are always left empty between passes;
+//!    `touched`/`queued` stamps are invalidated by bumping `epoch`
+//!    (with a full reset on the extremely rare u32 wrap), so per-fault
+//!    setup is O(1).
+//!
+//! Detection results are bit-identical to the dense engine for every
+//! block width, drop mode, and shard count — property-tested in this
+//! module and relied on by the whole stack (`MonteCarloEngine`, the CLI,
+//! the benches).
+
+use wrt_circuit::{Circuit, GateKind, NodeId};
+use wrt_fault::{Fault, FaultList, FaultSite};
+
+use crate::coverage::CoverageResult;
+use crate::fault_sim::FaultWorklist;
+use crate::logic::{eval_gate_lanes, WideLogicSim};
+use crate::patterns::{PatternBlock, PatternSource};
+
+/// Superblock widths the event engine is monomorphized over.
+///
+/// Adding a width means extending this list *and* the `with_block_words!`
+/// dispatch macro below — the two are the single source of truth every
+/// entry point shares.
+pub const SUPPORTED_BLOCK_WORDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Monomorphizes `$body` over the supported superblock widths: `$W`
+/// becomes a `const usize` bound to the runtime value `$w`.  The one copy
+/// of the width dispatch, shared by the serial drivers here and the
+/// sharded workers in `parallel.rs`.
+///
+/// Callers must have validated `$w` via [`SimOptions::validate`] first.
+macro_rules! with_block_words {
+    ($w:expr, $W:ident => $body:expr) => {
+        match $w {
+            1 => {
+                const $W: usize = 1;
+                $body
+            }
+            2 => {
+                const $W: usize = 2;
+                $body
+            }
+            4 => {
+                const $W: usize = 4;
+                $body
+            }
+            8 => {
+                const $W: usize = 8;
+                $body
+            }
+            _ => unreachable!("SimOptions::validate admits only SUPPORTED_BLOCK_WORDS"),
+        }
+    };
+}
+pub(crate) use with_block_words;
+
+/// Which PPSFP inner loop to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEngineKind {
+    /// The reference engine: one `u64` block, dense per-fault cone walk.
+    Dense,
+    /// Event-driven sparse propagation over `W`-word superblocks.
+    Event,
+}
+
+impl std::fmt::Display for SimEngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimEngineKind::Dense => write!(f, "dense"),
+            SimEngineKind::Event => write!(f, "event"),
+        }
+    }
+}
+
+impl std::str::FromStr for SimEngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(SimEngineKind::Dense),
+            "event" => Ok(SimEngineKind::Event),
+            other => Err(format!("unknown engine `{other}` (expected dense or event)")),
+        }
+    }
+}
+
+/// Configuration of the PPSFP inner loop: engine kind and superblock width.
+///
+/// The default is the event-driven engine at `W = 4` (256 patterns per
+/// pass) — bit-identical to [`SimOptions::dense`] everywhere, faster on
+/// every workload circuit (see `BENCH_sim.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Inner-loop engine.
+    pub engine: SimEngineKind,
+    /// Words per superblock (`64 * block_words` patterns per pass).
+    /// Must be one of [`SUPPORTED_BLOCK_WORDS`]; the dense engine is
+    /// pinned at 1.
+    pub block_words: usize,
+}
+
+impl SimOptions {
+    /// The reference dense engine (single-word blocks).
+    pub fn dense() -> Self {
+        SimOptions {
+            engine: SimEngineKind::Dense,
+            block_words: 1,
+        }
+    }
+
+    /// The event-driven engine at the given superblock width.
+    pub fn event(block_words: usize) -> Self {
+        SimOptions {
+            engine: SimEngineKind::Event,
+            block_words,
+        }
+    }
+
+    /// Checks the option combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `block_words` is not a
+    /// supported width, or when a width other than 1 is requested for the
+    /// dense engine (which is inherently single-word).
+    pub fn validate(&self) -> Result<(), String> {
+        if !SUPPORTED_BLOCK_WORDS.contains(&self.block_words) {
+            return Err(format!(
+                "block_words must be one of {SUPPORTED_BLOCK_WORDS:?}, got {}",
+                self.block_words
+            ));
+        }
+        if self.engine == SimEngineKind::Dense && self.block_words != 1 {
+            return Err("the dense engine is single-word; use --engine event for block_words > 1"
+                .to_string());
+        }
+        Ok(())
+    }
+
+    fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid SimOptions: {e}");
+        }
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions::event(4)
+    }
+}
+
+/// Machine-independent work counters of one PPSFP run.
+///
+/// These are the metrics `BENCH_sim.json` reports: wall-clock numbers
+/// depend on the host, but gate evaluations per detected fault do not, so
+/// the perf trajectory stays comparable across machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// `(fault, block)` propagation attempts (after good simulation).
+    pub fault_blocks: u64,
+    /// Attempts where the fault was not excited anywhere in the block
+    /// (root value equals the fault-free value; zero propagation work).
+    pub unexcited: u64,
+    /// Gate evaluations during fault propagation (excluding the root
+    /// injection): the dense engine pays one per cone node per excited
+    /// block, the event engine one per *scheduled* node.
+    pub node_evals: u64,
+    /// Excited attempts whose effect died before reaching any primary
+    /// output (the frontier drained without touching a PO).
+    pub frontier_deaths: u64,
+    /// Attempts that detected the fault in at least one pattern.
+    pub detected_blocks: u64,
+}
+
+impl SimStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.fault_blocks += other.fault_blocks;
+        self.unexcited += other.unexcited;
+        self.node_evals += other.node_evals;
+        self.frontier_deaths += other.frontier_deaths;
+        self.detected_blocks += other.detected_blocks;
+    }
+
+    /// Excited `(fault, block)` attempts (fault effect present at the root).
+    pub fn excited(&self) -> u64 {
+        self.fault_blocks - self.unexcited
+    }
+
+    /// Fraction of excited attempts whose effect died before any primary
+    /// output — the die-out rate the event engine exploits (0 when nothing
+    /// was excited).
+    pub fn frontier_dieout_rate(&self) -> f64 {
+        if self.excited() == 0 {
+            return 0.0;
+        }
+        self.frontier_deaths as f64 / self.excited() as f64
+    }
+}
+
+/// One superblock of up to `64 * W` bit-parallel patterns: `W` consecutive
+/// [`PatternBlock`]s transposed into `[u64; W]` lanes, one lane array per
+/// primary input.  Bit `j` of lane `k` is pattern `64 * k + j` relative to
+/// the superblock start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperBlock<const W: usize> {
+    /// One `[u64; W]` per primary input.
+    pub words: Vec<[u64; W]>,
+    /// Number of valid patterns (`1..=64 * W`); valid patterns are a
+    /// prefix, so lane `k` is fully valid iff `len >= 64 * (k + 1)`.
+    pub len: u32,
+}
+
+impl<const W: usize> SuperBlock<W> {
+    /// An empty superblock shell for `num_inputs` inputs (`len == 0`),
+    /// meant to be reused as scratch across
+    /// [`SuperBlock::refill_draw`] / [`SuperBlock::refill_from_blocks`]
+    /// calls so streaming loops perform no per-superblock allocation.
+    pub fn empty(num_inputs: usize) -> Self {
+        SuperBlock {
+            words: vec![[0u64; W]; num_inputs],
+            len: 0,
+        }
+    }
+
+    /// Draws up to `limit` patterns (at most `64 * W`) from `source` as
+    /// `W` consecutive blocks, preserving the source's sequential stream —
+    /// the same patterns a dense caller would draw block by block.
+    /// `limit == 0` yields an empty superblock (nothing is drawn).
+    pub fn draw(source: &mut impl PatternSource, limit: u64) -> Self {
+        let mut sb = SuperBlock::empty(source.num_inputs());
+        sb.refill_draw(source, limit);
+        sb
+    }
+
+    /// In-place [`SuperBlock::draw`]: refills this superblock from
+    /// `source`, reusing the lane allocation.  Lanes beyond the drawn
+    /// length are zeroed, so a partial refill leaves no stale patterns.
+    ///
+    /// A source returning a short block (the trait permits fewer than the
+    /// requested patterns) closes the superblock at that block: valid
+    /// patterns must form a prefix of the lane array for the mask and the
+    /// pattern-index math to hold, so no further lanes are drawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shell was built for a different input count.
+    pub fn refill_draw(&mut self, source: &mut impl PatternSource, limit: u64) {
+        assert_eq!(
+            self.words.len(),
+            source.num_inputs(),
+            "superblock shell matches the source's input count"
+        );
+        self.len = 0;
+        let mut remaining = limit;
+        for k in 0..W {
+            if remaining == 0 {
+                for lanes in self.words.iter_mut() {
+                    lanes[k] = 0;
+                }
+                continue;
+            }
+            let block = source.next_block(remaining.min(64) as u32);
+            for (lanes, &w) in self.words.iter_mut().zip(&block.words) {
+                lanes[k] = w;
+            }
+            self.len += block.len;
+            remaining -= u64::from(block.len);
+            if block.len < 64 {
+                // Short block: close the superblock so valid patterns
+                // stay a prefix (later lanes are zeroed above).
+                remaining = 0;
+            }
+        }
+    }
+
+    /// Transposes up to `W` already-drawn consecutive blocks into a
+    /// superblock (the sharded workers' path: blocks arrive broadcast in
+    /// chunks).  All blocks but the last must be full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or holds more than `W` blocks.
+    pub fn from_blocks(blocks: &[PatternBlock]) -> Self {
+        assert!(!blocks.is_empty(), "at least one block per superblock");
+        let mut sb = SuperBlock::empty(blocks[0].words.len());
+        sb.refill_from_blocks(blocks);
+        sb
+    }
+
+    /// In-place [`SuperBlock::from_blocks`], reusing the lane allocation;
+    /// lanes beyond `blocks.len()` are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, holds more than `W` blocks, does not
+    /// match the shell's input count, or holds a short block anywhere but
+    /// last — valid patterns must form a prefix of the lane array (group
+    /// with [`superblock_split`] to respect short blocks).
+    pub fn refill_from_blocks(&mut self, blocks: &[PatternBlock]) {
+        assert!(
+            !blocks.is_empty() && blocks.len() <= W,
+            "1..={W} blocks per superblock"
+        );
+        assert_eq!(
+            self.words.len(),
+            blocks[0].words.len(),
+            "superblock shell matches the blocks' input count"
+        );
+        self.len = 0;
+        for k in 0..W {
+            match blocks.get(k) {
+                Some(block) => {
+                    assert!(
+                        k + 1 == blocks.len() || block.len == 64,
+                        "only the final block of a superblock may be partial"
+                    );
+                    for (lanes, &w) in self.words.iter_mut().zip(&block.words) {
+                        lanes[k] = w;
+                    }
+                    self.len += block.len;
+                }
+                None => {
+                    for lanes in self.words.iter_mut() {
+                        lanes[k] = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane masks with the `len` low bits set across the lane array.
+    pub fn mask(&self) -> [u64; W] {
+        let mut m = [0u64; W];
+        let mut left = self.len;
+        for lane in m.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            let take = left.min(64);
+            *lane = if take >= 64 { u64::MAX } else { (1u64 << take) - 1 };
+            left -= take;
+        }
+        m
+    }
+}
+
+/// The value a fault forces at its effect root, lane-widened: `stuck`
+/// itself for stem faults, the gate re-evaluated with the faulty pin for
+/// pin faults.  The one copy of the injection semantics, shared by the
+/// dense (`W = 1`) and event engines so a change cannot break their
+/// bit-identity contract.
+#[inline]
+pub(crate) fn inject_root_lanes<const W: usize>(
+    circuit: &Circuit,
+    fault: Fault,
+    stuck: [u64; W],
+    good: impl Fn(NodeId) -> [u64; W],
+) -> [u64; W] {
+    match fault.site {
+        FaultSite::Output(_) => stuck,
+        FaultSite::InputPin { gate, pin } => {
+            let node = circuit.node(gate);
+            let lanes = node
+                .fanin()
+                .iter()
+                .enumerate()
+                .map(|(p, f)| if p == pin { stuck } else { good(*f) });
+            eval_gate_lanes(node.kind(), lanes)
+        }
+    }
+}
+
+/// Number of consecutive blocks (at most `max_words`, at least 1) forming
+/// the next superblock of a block stream: grouping extends only across
+/// full 64-pattern blocks and closes at the first short one, mirroring
+/// [`SuperBlock::refill_draw`] so chunked (sharded) and drawn (serial)
+/// streams group identically and valid patterns always form a prefix.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty or `max_words` is zero.
+pub fn superblock_split(blocks: &[PatternBlock], max_words: usize) -> usize {
+    assert!(!blocks.is_empty() && max_words > 0);
+    let mut take = 1;
+    while take < max_words && take < blocks.len() && blocks[take - 1].len == 64 {
+        take += 1;
+    }
+    take
+}
+
+/// Position of the lowest set bit across the lane array (pattern index
+/// within the superblock), or `None` if all lanes are zero.
+pub fn first_set_bit<const W: usize>(lanes: &[u64; W]) -> Option<u32> {
+    lanes
+        .iter()
+        .enumerate()
+        .find(|(_, &lane)| lane != 0)
+        .map(|(k, lane)| k as u32 * 64 + lane.trailing_zeros())
+}
+
+/// Total set bits across the lane array (detections in the superblock).
+pub fn count_set_bits<const W: usize>(lanes: &[u64; W]) -> u32 {
+    lanes.iter().map(|lane| lane.count_ones()).sum()
+}
+
+#[inline]
+fn and_mask<const W: usize>(mut lanes: [u64; W], mask: &[u64; W]) -> [u64; W] {
+    for (l, m) in lanes.iter_mut().zip(mask) {
+        *l &= m;
+    }
+    lanes
+}
+
+#[inline]
+fn or_diff<const W: usize>(acc: &mut [u64; W], a: &[u64; W], b: &[u64; W]) {
+    for ((acc, x), y) in acc.iter_mut().zip(a).zip(b) {
+        *acc |= x ^ y;
+    }
+}
+
+/// Event-driven PPSFP fault simulator over `W`-word superblocks.
+///
+/// Unlike [`crate::FaultSimulator`], no per-fault cones are stored at all: the
+/// reachable region is discovered on the fly by the event queue, and the
+/// circuit's CSR fanout lists bound propagation exactly as tightly as an
+/// explicit cone would — minus every node the fault effect never reaches.
+///
+/// # Example
+///
+/// ```
+/// use wrt_circuit::parse_bench;
+/// use wrt_fault::FaultList;
+/// use wrt_sim::{EventSimulator, FaultWorklist, SuperBlock, WeightedPatterns, PatternSource};
+///
+/// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")?;
+/// let faults = FaultList::checkpoints(&c);
+/// let mut sim = EventSimulator::<4>::new(&c, &faults);
+/// let mut src = WeightedPatterns::equiprobable(2, 3);
+/// let sb = SuperBlock::<4>::draw(&mut src, 256);
+/// let mut worklist = FaultWorklist::full(faults.len());
+/// let mut detections = 0;
+/// sim.detect_superblock_worklist(&sb.words, sb.mask(), &mut worklist, false, |_, _| {
+///     detections += 1;
+/// });
+/// assert!(detections > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventSimulator<'c, const W: usize> {
+    circuit: &'c Circuit,
+    faults: Vec<Fault>,
+    good: WideLogicSim<'c, W>,
+    /// Scratch: faulty lanes per node, valid when `touched == epoch`.
+    faulty: Vec<[u64; W]>,
+    touched: Vec<u32>,
+    /// Ready-set membership stamp (invariant 2 in the module docs).
+    queued: Vec<u32>,
+    epoch: u32,
+    /// Level-indexed ready buckets, always empty between passes.
+    buckets: Vec<Vec<u32>>,
+    /// Min-heap of levels whose bucket is non-empty, so the drain loop
+    /// hops directly between occupied levels instead of probing every
+    /// level up to the deepest scheduled node (on deep circuits the empty
+    /// probes would rival the real evaluations).
+    active_levels: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Flat copy of the per-node levels (one indirection instead of two
+    /// on the scheduling hot path).
+    level: Box<[u32]>,
+    stats: SimStats,
+}
+
+impl<'c, const W: usize> EventSimulator<'c, W> {
+    /// Builds a simulator for `circuit` and `faults`.
+    pub fn new(circuit: &'c Circuit, faults: &FaultList) -> Self {
+        let n = circuit.num_nodes();
+        EventSimulator {
+            circuit,
+            faults: faults.iter().map(|(_, f)| f).collect(),
+            good: WideLogicSim::new(circuit),
+            faulty: vec![[0; W]; n],
+            touched: vec![0; n],
+            queued: vec![0; n],
+            epoch: 0,
+            buckets: vec![Vec::new(); circuit.levels().depth() as usize + 1],
+            active_levels: std::collections::BinaryHeap::new(),
+            level: circuit.ids().map(|id| circuit.levels().level(id)).collect(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Number of faults under simulation.
+    pub fn num_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`EventSimulator::reset_stats`]).
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Clears the accumulated work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Simulates one superblock fault-free, then visits exactly the faults
+    /// in `worklist`, invoking `on_detect(fault_index, detection_lanes)`
+    /// for every fault the superblock detects.  With `drop = true`,
+    /// detected faults are swap-removed from the worklist.
+    ///
+    /// The contract mirrors [`crate::FaultSimulator::detect_block_worklist`] with
+    /// `u64` widened to `[u64; W]`; detection lanes are bit-identical to
+    /// `W` consecutive dense blocks.
+    pub fn detect_superblock_worklist(
+        &mut self,
+        pi_words: &[[u64; W]],
+        mask: [u64; W],
+        worklist: &mut FaultWorklist,
+        drop: bool,
+        on_detect: impl FnMut(usize, [u64; W]),
+    ) {
+        self.good.run(pi_words);
+        worklist.visit(drop, [0; W], |i| self.detect_fault(i, &mask), on_detect);
+    }
+
+    /// The one copy of the ready-set bookkeeping (invariants 1–2 in the
+    /// module docs): stamps `s` as queued for `epoch`, registers its level
+    /// in the occupied-level heap on the bucket's empty→non-empty
+    /// transition, and enqueues it.  `above` is the scheduler's level —
+    /// scheduling is strictly upward, which is what makes the level-order
+    /// drain evaluate every node after all of its touched fanins.
+    #[inline]
+    fn schedule(&mut self, s: NodeId, epoch: u32, above: u32) {
+        let si = s.index();
+        if self.queued[si] != epoch {
+            self.queued[si] = epoch;
+            let lvl = self.level[si];
+            debug_assert!(lvl > above, "scheduling is strictly upward");
+            if self.buckets[lvl as usize].is_empty() {
+                self.active_levels.push(std::cmp::Reverse(lvl));
+            }
+            self.buckets[lvl as usize].push(si as u32);
+        }
+    }
+
+    /// Detection lanes for fault index `i` against the current fault-free
+    /// state (callers must have run a superblock first).
+    fn detect_fault(&mut self, i: usize, mask: &[u64; W]) -> [u64; W] {
+        let fault = self.faults[i];
+        self.stats.fault_blocks += 1;
+        let stuck = if fault.stuck_value {
+            [u64::MAX; W]
+        } else {
+            [0; W]
+        };
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset both stamp arrays.
+            self.touched.fill(0);
+            self.queued.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        let root = fault.site.effect_root();
+
+        // Inject at the root.
+        let root_value =
+            inject_root_lanes(self.circuit, fault, stuck, |f| self.good.value(f));
+        let good_root = self.good.value(root);
+        if root_value == good_root {
+            // Fault not excited anywhere in this superblock.
+            self.stats.unexcited += 1;
+            return [0; W];
+        }
+        self.faulty[root.index()] = root_value;
+        self.touched[root.index()] = epoch;
+
+        let mut diff = [0u64; W];
+        let mut output_touched = false;
+        if self.circuit.is_output(root) {
+            or_diff(&mut diff, &root_value, &good_root);
+            output_touched = true;
+        }
+
+        // Seed the ready set with the root's fanouts, then drain occupied
+        // buckets in increasing level order until the frontier dies out.
+        // `circuit` is the copied `&'c` reference, so fanout slices do not
+        // hold a borrow of `self` across the `schedule` calls.
+        let circuit = self.circuit;
+        let root_level = self.level[root.index()];
+        for &s in circuit.fanout(root) {
+            self.schedule(s, epoch, root_level);
+        }
+        while let Some(std::cmp::Reverse(lvl)) = self.active_levels.pop() {
+            let mut bucket = std::mem::take(&mut self.buckets[lvl as usize]);
+            for &ni in &bucket {
+                let n = NodeId::from_index(ni as usize);
+                let node = circuit.node(n);
+                debug_assert!(node.kind() != GateKind::Input);
+                self.stats.node_evals += 1;
+                let w = eval_gate_lanes(
+                    node.kind(),
+                    node.fanin().iter().map(|f| {
+                        if self.touched[f.index()] == epoch {
+                            self.faulty[f.index()]
+                        } else {
+                            self.good.value(*f)
+                        }
+                    }),
+                );
+                let good_n = self.good.value(n);
+                if w != good_n {
+                    self.faulty[ni as usize] = w;
+                    self.touched[ni as usize] = epoch;
+                    if circuit.is_output(n) {
+                        or_diff(&mut diff, &w, &good_n);
+                        output_touched = true;
+                    }
+                    for &s in circuit.fanout(n) {
+                        self.schedule(s, epoch, lvl);
+                    }
+                }
+            }
+            bucket.clear();
+            self.buckets[lvl as usize] = bucket;
+        }
+
+        if !output_touched {
+            self.stats.frontier_deaths += 1;
+        }
+        let masked = and_mask(diff, mask);
+        if masked != [0; W] {
+            self.stats.detected_blocks += 1;
+        }
+        masked
+    }
+}
+
+/// [`crate::fault_coverage`] with a configurable inner loop: runs the
+/// selected engine ([`SimOptions`]) and additionally returns its
+/// machine-independent work counters.
+///
+/// Results are bit-identical across every engine/width combination — the
+/// property test in this module proves it — so callers pick options purely
+/// on speed.
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`SimOptions::validate`].
+pub fn fault_coverage_opts(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    drop: bool,
+    opts: SimOptions,
+) -> (CoverageResult, SimStats) {
+    opts.assert_valid();
+    match opts.engine {
+        SimEngineKind::Dense => crate::fault_sim::fault_coverage_stats(
+            circuit,
+            faults,
+            source,
+            num_patterns,
+            drop,
+        ),
+        SimEngineKind::Event => with_block_words!(opts.block_words, W => {
+            event_coverage::<W>(circuit, faults, source, num_patterns, drop)
+        }),
+    }
+}
+
+/// [`crate::detection_counts`] with a configurable inner loop; see
+/// [`fault_coverage_opts`].
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`SimOptions::validate`].
+pub fn detection_counts_opts(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    opts: SimOptions,
+) -> (Vec<u64>, SimStats) {
+    opts.assert_valid();
+    match opts.engine {
+        SimEngineKind::Dense => {
+            crate::fault_sim::detection_counts_stats(circuit, faults, source, num_patterns)
+        }
+        SimEngineKind::Event => with_block_words!(opts.block_words, W => {
+            event_counts::<W>(circuit, faults, source, num_patterns)
+        }),
+    }
+}
+
+fn event_coverage<const W: usize>(
+    circuit: &Circuit,
+    faults: &FaultList,
+    mut source: impl PatternSource,
+    num_patterns: u64,
+    drop: bool,
+) -> (CoverageResult, SimStats) {
+    let mut sim = EventSimulator::<W>::new(circuit, faults);
+    let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
+    let mut worklist = FaultWorklist::full(faults.len());
+    let mut sb = SuperBlock::<W>::empty(source.num_inputs());
+    let mut done = 0u64;
+    while done < num_patterns && !(drop && worklist.is_empty()) {
+        sb.refill_draw(&mut source, num_patterns - done);
+        sim.detect_superblock_worklist(&sb.words, sb.mask(), &mut worklist, drop, |i, w| {
+            if detected_at[i].is_none() {
+                let bit = first_set_bit(&w).expect("on_detect implies a set bit");
+                detected_at[i] = Some(done + u64::from(bit));
+            }
+        });
+        done += u64::from(sb.len);
+    }
+    (CoverageResult::new(detected_at, num_patterns), sim.stats())
+}
+
+fn event_counts<const W: usize>(
+    circuit: &Circuit,
+    faults: &FaultList,
+    mut source: impl PatternSource,
+    num_patterns: u64,
+) -> (Vec<u64>, SimStats) {
+    let mut sim = EventSimulator::<W>::new(circuit, faults);
+    let mut counts = vec![0u64; faults.len()];
+    let mut worklist = FaultWorklist::full(faults.len());
+    let mut sb = SuperBlock::<W>::empty(source.num_inputs());
+    let mut done = 0u64;
+    while done < num_patterns {
+        sb.refill_draw(&mut source, num_patterns - done);
+        sim.detect_superblock_worklist(&sb.words, sb.mask(), &mut worklist, false, |i, w| {
+            counts[i] += u64::from(count_set_bits(&w));
+        });
+        done += u64::from(sb.len);
+    }
+    (counts, sim.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_sim::{detection_counts, fault_coverage};
+    use crate::patterns::{ExhaustivePatterns, WeightedPatterns};
+    use wrt_circuit::parse_bench;
+
+    fn adder() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(cout)\n\
+             x1 = XOR(a, b)\ns = XOR(x1, cin)\na1 = AND(a, b)\na2 = AND(x1, cin)\n\
+             cout = OR(a1, a2)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn superblock_draw_matches_block_stream() {
+        let mut a = WeightedPatterns::equiprobable(3, 9);
+        let mut b = WeightedPatterns::equiprobable(3, 9);
+        let sb = SuperBlock::<4>::draw(&mut a, 300);
+        assert_eq!(sb.len, 256);
+        for k in 0..4 {
+            let block = b.next_block(64);
+            for (pi, lanes) in sb.words.iter().enumerate() {
+                assert_eq!(lanes[k], block.words[pi], "lane {k} input {pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn superblock_mask_is_prefix() {
+        let mut src = ExhaustivePatterns::new(2);
+        let sb = SuperBlock::<4>::draw(&mut src, 130);
+        assert_eq!(sb.len, 130);
+        assert_eq!(sb.mask(), [u64::MAX, u64::MAX, 0b11, 0]);
+        let full = SuperBlock::<2>::draw(&mut src, 1_000_000);
+        assert_eq!(full.len, 128);
+        assert_eq!(full.mask(), [u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn superblock_refill_zeroes_stale_lanes() {
+        let mut src = ExhaustivePatterns::new(2);
+        let mut sb = SuperBlock::<4>::empty(2);
+        sb.refill_draw(&mut src, 256);
+        assert_eq!(sb.len, 256);
+        // Partial refill: lanes 1..4 must not keep the previous patterns.
+        sb.refill_draw(&mut src, 40);
+        assert_eq!(sb.len, 40);
+        for lanes in &sb.words {
+            assert_eq!(&lanes[1..], &[0, 0, 0], "stale lanes zeroed");
+        }
+        assert_eq!(sb.mask(), [(1u64 << 40) - 1, 0, 0, 0]);
+        // Zero-limit refill yields an empty superblock, drawing nothing.
+        let mut a = ExhaustivePatterns::new(2);
+        let mut b = ExhaustivePatterns::new(2);
+        let mut empty = SuperBlock::<2>::empty(2);
+        empty.refill_draw(&mut a, 0);
+        assert_eq!(empty.len, 0);
+        assert_eq!(empty.mask(), [0, 0]);
+        assert_eq!(a.next_block(64), b.next_block(64), "stream untouched");
+        // from_blocks shells refill the same way.
+        let blocks = [b.next_block(64), b.next_block(32)];
+        let mut sb2 = SuperBlock::<4>::empty(2);
+        sb2.refill_from_blocks(&blocks);
+        assert_eq!(sb2.len, 96);
+        assert_eq!(sb2, SuperBlock::<4>::from_blocks(&blocks));
+    }
+
+    /// A conforming-but-awkward source: never more than 24 patterns per
+    /// block, even when more are requested (the trait allows it).
+    struct ShortBlocks(WeightedPatterns);
+
+    impl PatternSource for ShortBlocks {
+        fn next_block(&mut self, limit: u32) -> crate::patterns::PatternBlock {
+            self.0.next_block(limit.min(24))
+        }
+
+        fn num_inputs(&self) -> usize {
+            self.0.num_inputs()
+        }
+    }
+
+    #[test]
+    fn short_block_sources_stay_bit_identical() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        let short = || ShortBlocks(WeightedPatterns::equiprobable(3, 3));
+        let dense = fault_coverage(&c, &faults, short(), 200, true);
+        for words in SUPPORTED_BLOCK_WORDS {
+            let (event, _) =
+                fault_coverage_opts(&c, &faults, short(), 200, true, SimOptions::event(words));
+            assert_eq!(dense.detected_at(), event.detected_at(), "W = {words}");
+            let (sharded, _) = crate::parallel::fault_coverage_sharded_opts(
+                &c,
+                &faults,
+                short(),
+                200,
+                true,
+                3,
+                SimOptions::event(words),
+            );
+            assert_eq!(dense.detected_at(), sharded.detected_at(), "sharded W = {words}");
+        }
+        // A short mid-stream block closes the superblock early.
+        let mut sb = SuperBlock::<4>::empty(3);
+        sb.refill_draw(&mut short(), 1000);
+        assert_eq!(sb.len, 24, "superblock ends at the short block");
+        assert_eq!(sb.mask(), [(1u64 << 24) - 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn superblock_split_groups_full_blocks_only() {
+        let mut src = WeightedPatterns::equiprobable(2, 1);
+        let blocks: Vec<_> = (0..5).map(|_| src.next_block(64)).collect();
+        assert_eq!(superblock_split(&blocks, 4), 4);
+        assert_eq!(superblock_split(&blocks[4..], 4), 1);
+        let mut short_tail = vec![src.next_block(64), src.next_block(64)];
+        short_tail.push(src.next_block(10));
+        short_tail.push(src.next_block(64));
+        // Grouping may include the short block as its last member...
+        assert_eq!(superblock_split(&short_tail, 4), 3);
+        // ...but never extends past it.
+        assert_eq!(superblock_split(&short_tail[2..], 4), 1);
+    }
+
+    #[test]
+    fn lane_bit_helpers() {
+        let lanes = [0u64, 0b1000, u64::MAX];
+        assert_eq!(first_set_bit(&lanes), Some(64 + 3));
+        assert_eq!(count_set_bits(&lanes), 1 + 64);
+        assert_eq!(first_set_bit(&[0u64; 2]), None);
+        assert_eq!(first_set_bit(&[1u64]), Some(0));
+    }
+
+    #[test]
+    fn event_matches_dense_on_full_adder_exhaustive() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        let dense = fault_coverage(&c, &faults, ExhaustivePatterns::new(3), 8, false);
+        for drop in [false, true] {
+            for words in SUPPORTED_BLOCK_WORDS {
+                let (event, stats) = fault_coverage_opts(
+                    &c,
+                    &faults,
+                    ExhaustivePatterns::new(3),
+                    8,
+                    drop,
+                    SimOptions::event(words),
+                );
+                assert_eq!(dense.detected_at(), event.detected_at(), "W = {words}");
+                assert!(stats.fault_blocks > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn event_counts_match_dense() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        let dense = detection_counts(&c, &faults, WeightedPatterns::equiprobable(3, 5), 999);
+        for words in SUPPORTED_BLOCK_WORDS {
+            let (event, _) = detection_counts_opts(
+                &c,
+                &faults,
+                WeightedPatterns::equiprobable(3, 5),
+                999,
+                SimOptions::event(words),
+            );
+            assert_eq!(dense, event, "W = {words}");
+        }
+    }
+
+    #[test]
+    fn dense_opts_reports_stats_and_matches_plain_entry() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        let plain = fault_coverage(&c, &faults, WeightedPatterns::equiprobable(3, 2), 256, true);
+        let (dense, stats) = fault_coverage_opts(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 2),
+            256,
+            true,
+            SimOptions::dense(),
+        );
+        assert_eq!(plain.detected_at(), dense.detected_at());
+        assert!(stats.node_evals > 0);
+        assert!(stats.fault_blocks >= stats.unexcited);
+    }
+
+    #[test]
+    fn event_stats_count_frontier_deaths() {
+        // y = AND(m, 0-ish): fault on `a` propagates into m but the AND
+        // with b = 0 kills it before the output in every pattern.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = NOT(a)\ny = AND(m, b)\n",
+        )
+        .unwrap();
+        let a = c.node_id("a").unwrap();
+        let faults =
+            wrt_fault::FaultList::from_faults(vec![wrt_fault::Fault::output(a, true)]);
+        let mut sim = EventSimulator::<1>::new(&c, &faults);
+        // Patterns with a = 0 (fault excited) and b = 0 (effect masked at y).
+        let mut worklist = FaultWorklist::full(1);
+        sim.detect_superblock_worklist(
+            &[[0u64], [0u64]],
+            [u64::MAX],
+            &mut worklist,
+            false,
+            |_, _| panic!("must not detect"),
+        );
+        let stats = sim.stats();
+        assert_eq!(stats.fault_blocks, 1);
+        assert_eq!(stats.unexcited, 0);
+        assert_eq!(stats.frontier_deaths, 1);
+        // NOT evaluated + AND evaluated (then dies): exactly 2 evals, not
+        // the full cone of `a` every time thereafter.
+        assert_eq!(stats.node_evals, 2);
+        assert_eq!(stats.frontier_dieout_rate(), 1.0);
+    }
+
+    #[test]
+    fn event_never_evaluates_more_than_dense() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::full(&c);
+        let (_, dense) = fault_coverage_opts(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 77),
+            512,
+            true,
+            SimOptions::dense(),
+        );
+        let (_, event) = fault_coverage_opts(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 77),
+            512,
+            true,
+            SimOptions::event(1),
+        );
+        // Same blocks, same drops at W = 1: the event engine evaluates a
+        // subset of each cone.
+        assert!(
+            event.node_evals <= dense.node_evals,
+            "event {} vs dense {}",
+            event.node_evals,
+            dense.node_evals
+        );
+    }
+
+    #[test]
+    fn options_validation() {
+        assert!(SimOptions::default().validate().is_ok());
+        assert!(SimOptions::dense().validate().is_ok());
+        for w in SUPPORTED_BLOCK_WORDS {
+            assert!(SimOptions::event(w).validate().is_ok());
+        }
+        assert!(SimOptions::event(3).validate().is_err());
+        assert!(SimOptions::event(16).validate().is_err());
+        assert!(SimOptions {
+            engine: SimEngineKind::Dense,
+            block_words: 4
+        }
+        .validate()
+        .is_err());
+        assert_eq!("event".parse::<SimEngineKind>().unwrap(), SimEngineKind::Event);
+        assert_eq!("dense".parse::<SimEngineKind>().unwrap(), SimEngineKind::Dense);
+        assert!("psychic".parse::<SimEngineKind>().is_err());
+        assert_eq!(format!("{}", SimEngineKind::Event), "event");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimOptions")]
+    fn invalid_width_panics_in_driver() {
+        let c = adder();
+        let faults = wrt_fault::FaultList::primary_inputs(&c);
+        let _ = fault_coverage_opts(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 1),
+            64,
+            true,
+            SimOptions::event(5),
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::fault_sim::{detection_counts, fault_coverage};
+    use crate::parallel::{detection_counts_sharded_opts, fault_coverage_sharded_opts};
+    use crate::patterns::WeightedPatterns;
+    use crate::test_support::arb_circuit;
+    use proptest::prelude::*;
+    use wrt_fault::FaultList;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The event-driven engine is bit-identical to the dense one —
+        /// `detected_at` and `counts` — across random circuits, weights,
+        /// superblock widths 1/2/4/8, pattern counts, drop modes, and
+        /// shard counts (1 = serial, plus oversharding).
+        #[test]
+        fn event_is_bit_identical_to_dense(
+            circuit in arb_circuit(),
+            weights in proptest::collection::vec(0.05f64..0.95, 4),
+            width_and_threads in (0usize..4, 1usize..7),
+            seed in 0u64..1_000,
+            patterns in 1u64..700,
+            drop in any::<bool>(),
+        ) {
+            let (width_idx, threads) = width_and_threads;
+            let faults = FaultList::full(&circuit);
+            let words = SUPPORTED_BLOCK_WORDS[width_idx];
+            let opts = SimOptions::event(words);
+
+            let dense = fault_coverage(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns, drop,
+            );
+            let (event, _) = fault_coverage_opts(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns, drop, opts,
+            );
+            prop_assert_eq!(dense.detected_at(), event.detected_at());
+
+            let (event_sharded, _) = fault_coverage_sharded_opts(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns, drop, threads, opts,
+            );
+            prop_assert_eq!(dense.detected_at(), event_sharded.detected_at());
+
+            let counts = detection_counts(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns,
+            );
+            let (counts_event, _) = detection_counts_opts(
+                &circuit, &faults,
+                WeightedPatterns::new(weights.clone(), seed),
+                patterns, opts,
+            );
+            prop_assert_eq!(&counts, &counts_event);
+
+            let (counts_sharded, _) = detection_counts_sharded_opts(
+                &circuit, &faults,
+                WeightedPatterns::new(weights, seed),
+                patterns, threads, opts,
+            );
+            prop_assert_eq!(&counts, &counts_sharded);
+        }
+
+        /// Oversharding (more shards than faults) stays identical for the
+        /// event engine, including drop mode.
+        #[test]
+        fn event_oversharding_is_identical(
+            circuit in arb_circuit(),
+            seed in 0u64..100,
+            width_idx in 0usize..4,
+        ) {
+            let faults = FaultList::primary_inputs(&circuit);
+            let opts = SimOptions::event(SUPPORTED_BLOCK_WORDS[width_idx]);
+            let dense = fault_coverage(
+                &circuit, &faults,
+                WeightedPatterns::equiprobable(4, seed),
+                300, true,
+            );
+            let (sharded, _) = fault_coverage_sharded_opts(
+                &circuit, &faults,
+                WeightedPatterns::equiprobable(4, seed),
+                300, true, faults.len() * 3 + 7, opts,
+            );
+            prop_assert_eq!(dense.detected_at(), sharded.detected_at());
+        }
+    }
+}

@@ -6,9 +6,10 @@
 //! output differs from the fault-free value in bit *j*.
 
 use wrt_circuit::{transitive_fanout, Circuit, GateKind, NodeId};
-use wrt_fault::{Fault, FaultList, FaultSite};
+use wrt_fault::{Fault, FaultList};
 
 use crate::coverage::CoverageResult;
+use crate::event::SimStats;
 use crate::logic::{eval_gate_words, LogicSim};
 use crate::patterns::PatternSource;
 
@@ -51,6 +52,10 @@ pub struct FaultSimulator<'c> {
     faulty: Vec<u64>,
     touched: Vec<u32>,
     epoch: u32,
+    /// Scratch worklist reused by [`FaultSimulator::detect_block_filtered`]
+    /// so repeated filtered calls do not rebuild an index vector per block.
+    filtered_scratch: FaultWorklist,
+    stats: SimStats,
 }
 
 impl<'c> FaultSimulator<'c> {
@@ -83,12 +88,35 @@ impl<'c> FaultSimulator<'c> {
             faulty: vec![0; circuit.num_nodes()],
             touched: vec![0; circuit.num_nodes()],
             epoch: 0,
+            filtered_scratch: FaultWorklist { indices: Vec::new() },
+            stats: SimStats::default(),
         }
     }
 
     /// Number of faults under simulation.
     pub fn num_faults(&self) -> usize {
         self.faults.len()
+    }
+
+    /// Number of distinct `(cone, cone_outputs)` entries actually stored:
+    /// faults sharing an effect root (both polarities, stem + pin faults
+    /// of one gate) share a single slot, so this is the number of distinct
+    /// effect roots — usually far below [`FaultSimulator::num_faults`].
+    pub fn num_distinct_cones(&self) -> usize {
+        self.cones.len()
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`FaultSimulator::reset_stats`]).  `node_evals` counts one
+    /// evaluation per cone node per excited `(fault, block)` pair — the
+    /// dense cost the event engine's sparse frontier undercuts.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Clears the accumulated work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
     }
 
     /// The fault-free simulator state from the most recent block.
@@ -98,32 +126,66 @@ impl<'c> FaultSimulator<'c> {
 
     /// Simulates one block fault-free and returns, for every fault, the
     /// word of patterns that detect it (bit *j* set = pattern *j* detects).
+    ///
+    /// Allocates the result vector; streaming callers should prefer
+    /// [`FaultSimulator::detect_block_into`] with a reused buffer.
     pub fn detect_block(&mut self, pi_words: &[u64], mask: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.detect_block_into(pi_words, mask, &mut out);
+        out
+    }
+
+    /// Like [`FaultSimulator::detect_block`] but writes the per-fault
+    /// detection words into a caller-provided buffer (cleared and refilled),
+    /// so block-streaming loops perform no per-block allocation.
+    pub fn detect_block_into(&mut self, pi_words: &[u64], mask: u64, out: &mut Vec<u64>) {
         self.good.run(pi_words);
-        (0..self.faults.len())
-            .map(|i| self.detect_fault_in_block(i, mask))
-            .collect()
+        out.clear();
+        out.reserve(self.faults.len());
+        for i in 0..self.faults.len() {
+            let w = self.detect_fault_in_block(i, mask);
+            out.push(w);
+        }
     }
 
     /// Like [`FaultSimulator::detect_block`] but only for the faults whose
     /// index satisfies `active`; inactive faults report 0.
     ///
-    /// Implemented over a throwaway [`FaultWorklist`], so only the active
-    /// faults are visited.  Streaming callers that drop faults across many
-    /// blocks should keep a persistent worklist and call
-    /// [`FaultSimulator::detect_block_worklist`] instead, which avoids
-    /// rebuilding the compacted index set every block.
+    /// Implemented over an internal scratch [`FaultWorklist`] (refilled,
+    /// never reallocated), so only the active faults are visited and the
+    /// call is allocation-free apart from the returned vector — use
+    /// [`FaultSimulator::detect_block_filtered_into`] to avoid that too.
+    /// Streaming callers that drop faults across many blocks should keep a
+    /// persistent worklist and call
+    /// [`FaultSimulator::detect_block_worklist`] instead.
     pub fn detect_block_filtered(
         &mut self,
         pi_words: &[u64],
         mask: u64,
         active: &[bool],
     ) -> Vec<u64> {
-        assert_eq!(active.len(), self.faults.len(), "one flag per fault");
-        let mut worklist = FaultWorklist::from_active(active);
-        let mut out = vec![0u64; self.faults.len()];
-        self.detect_block_worklist(pi_words, mask, &mut worklist, false, |i, w| out[i] = w);
+        let mut out = Vec::new();
+        self.detect_block_filtered_into(pi_words, mask, active, &mut out);
         out
+    }
+
+    /// [`FaultSimulator::detect_block_filtered`] into a caller-provided
+    /// buffer: no allocation at all once the buffer and the internal
+    /// scratch worklist have grown to fault-list size.
+    pub fn detect_block_filtered_into(
+        &mut self,
+        pi_words: &[u64],
+        mask: u64,
+        active: &[bool],
+        out: &mut Vec<u64>,
+    ) {
+        assert_eq!(active.len(), self.faults.len(), "one flag per fault");
+        let mut worklist = std::mem::take(&mut self.filtered_scratch);
+        worklist.refill_from_active(active);
+        out.clear();
+        out.resize(self.faults.len(), 0);
+        self.detect_block_worklist(pi_words, mask, &mut worklist, false, |i, w| out[i] = w);
+        self.filtered_scratch = worklist;
     }
 
     /// Simulates one block fault-free, then visits exactly the faults in
@@ -140,28 +202,17 @@ impl<'c> FaultSimulator<'c> {
         mask: u64,
         worklist: &mut FaultWorklist,
         drop: bool,
-        mut on_detect: impl FnMut(usize, u64),
+        on_detect: impl FnMut(usize, u64),
     ) {
         self.good.run(pi_words);
-        let mut k = 0;
-        while k < worklist.indices.len() {
-            let i = worklist.indices[k] as usize;
-            let w = self.detect_fault_in_block(i, mask);
-            if w != 0 {
-                on_detect(i, w);
-                if drop {
-                    worklist.indices.swap_remove(k);
-                    continue; // the swapped-in fault is visited next
-                }
-            }
-            k += 1;
-        }
+        worklist.visit(drop, 0, |i| self.detect_fault_in_block(i, mask), on_detect);
     }
 
     /// Detection word for fault index `i` against the current fault-free
     /// state (callers must have run a block first).
     fn detect_fault_in_block(&mut self, i: usize, mask: u64) -> u64 {
         let fault = self.faults[i];
+        self.stats.fault_blocks += 1;
         let stuck = if fault.stuck_value { u64::MAX } else { 0 };
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
@@ -172,23 +223,15 @@ impl<'c> FaultSimulator<'c> {
         let epoch = self.epoch;
         let root = fault.site.effect_root();
 
-        // Inject at the root.
-        let root_value = match fault.site {
-            FaultSite::Output(_) => stuck,
-            FaultSite::InputPin { gate, pin } => {
-                let node = self.circuit.node(gate);
-                let words = node.fanin().iter().enumerate().map(|(p, f)| {
-                    if p == pin {
-                        stuck
-                    } else {
-                        self.good.value(*f)
-                    }
-                });
-                eval_gate_words(node.kind(), words)
-            }
-        };
+        // Inject at the root (the same shared helper the event engine
+        // uses, at W = 1).
+        let root_value =
+            crate::event::inject_root_lanes::<1>(self.circuit, fault, [stuck], |f| {
+                [self.good.value(f)]
+            })[0];
         if root_value == self.good.value(root) {
             // Fault not excited anywhere in this block.
+            self.stats.unexcited += 1;
             return 0;
         }
         self.faulty[root.index()] = root_value;
@@ -196,6 +239,7 @@ impl<'c> FaultSimulator<'c> {
 
         // Propagate through the cone (already topologically sorted).
         let (cone, cone_outputs) = &self.cones[self.cone_slot[i]];
+        self.stats.node_evals += (cone.len() - 1) as u64;
         for &n in cone {
             if n == root {
                 continue;
@@ -218,12 +262,21 @@ impl<'c> FaultSimulator<'c> {
 
         // Compare primary outputs inside the cone.
         let mut diff = 0u64;
+        let mut output_touched = false;
         for &o in cone_outputs {
             if self.touched[o.index()] == epoch {
                 diff |= self.faulty[o.index()] ^ self.good.value(o);
+                output_touched = true;
             }
         }
-        diff & mask
+        if !output_touched {
+            self.stats.frontier_deaths += 1;
+        }
+        let masked = diff & mask;
+        if masked != 0 {
+            self.stats.detected_blocks += 1;
+        }
+        masked
     }
 }
 
@@ -237,7 +290,7 @@ impl<'c> FaultSimulator<'c> {
 ///
 /// Iteration order changes as faults are dropped; detection results do
 /// not depend on it (every remaining fault is visited each block).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultWorklist {
     indices: Vec<u32>,
 }
@@ -252,14 +305,24 @@ impl FaultWorklist {
 
     /// A worklist of the indices whose `active` flag is set.
     pub fn from_active(active: &[bool]) -> Self {
-        FaultWorklist {
-            indices: active
+        let mut list = FaultWorklist {
+            indices: Vec::new(),
+        };
+        list.refill_from_active(active);
+        list
+    }
+
+    /// Clears the worklist and refills it with the indices whose `active`
+    /// flag is set, reusing the existing allocation.
+    pub fn refill_from_active(&mut self, active: &[bool]) {
+        self.indices.clear();
+        self.indices.extend(
+            active
                 .iter()
                 .enumerate()
                 .filter(|&(_, &a)| a)
-                .map(|(i, _)| i as u32)
-                .collect(),
-        }
+                .map(|(i, _)| i as u32),
+        );
     }
 
     /// Number of faults still active.
@@ -276,6 +339,36 @@ impl FaultWorklist {
     pub fn as_slice(&self) -> &[u32] {
         &self.indices
     }
+
+    /// Visits every remaining fault: `detect(i)` produces the detection
+    /// value for fault `i`; when it differs from `zero`, `on_detect(i, w)`
+    /// fires and, with `drop = true`, the fault is swap-removed so the
+    /// swapped-in fault is visited next.
+    ///
+    /// This is the one copy of the dropping iteration protocol, shared by
+    /// the dense and event engines (the detection value is a `u64` block
+    /// word or a `[u64; W]` superblock lane array respectively).
+    pub(crate) fn visit<D: Copy + PartialEq>(
+        &mut self,
+        drop: bool,
+        zero: D,
+        mut detect: impl FnMut(usize) -> D,
+        mut on_detect: impl FnMut(usize, D),
+    ) {
+        let mut k = 0;
+        while k < self.indices.len() {
+            let i = self.indices[k] as usize;
+            let w = detect(i);
+            if w != zero {
+                on_detect(i, w);
+                if drop {
+                    self.indices.swap_remove(k);
+                    continue; // the swapped-in fault is visited next
+                }
+            }
+            k += 1;
+        }
+    }
 }
 
 /// Runs `num_patterns` patterns from `source` against `faults` and records
@@ -289,10 +382,22 @@ impl FaultWorklist {
 pub fn fault_coverage(
     circuit: &Circuit,
     faults: &FaultList,
-    mut source: impl PatternSource,
+    source: impl PatternSource,
     num_patterns: u64,
     drop: bool,
 ) -> CoverageResult {
+    fault_coverage_stats(circuit, faults, source, num_patterns, drop).0
+}
+
+/// [`fault_coverage`] plus the dense engine's work counters (the stats
+/// side of [`crate::fault_coverage_opts`] with [`crate::SimOptions::dense`]).
+pub(crate) fn fault_coverage_stats(
+    circuit: &Circuit,
+    faults: &FaultList,
+    mut source: impl PatternSource,
+    num_patterns: u64,
+    drop: bool,
+) -> (CoverageResult, SimStats) {
     let mut sim = FaultSimulator::new(circuit, faults);
     let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
     let mut worklist = FaultWorklist::full(faults.len());
@@ -308,7 +413,7 @@ pub fn fault_coverage(
         });
         done += u64::from(block.len);
     }
-    CoverageResult::new(detected_at, num_patterns)
+    (CoverageResult::new(detected_at, num_patterns), sim.stats())
 }
 
 /// Counts, for every fault, how many of `num_patterns` patterns detect it
@@ -317,22 +422,36 @@ pub fn fault_coverage(
 pub fn detection_counts(
     circuit: &Circuit,
     faults: &FaultList,
-    mut source: impl PatternSource,
+    source: impl PatternSource,
     num_patterns: u64,
 ) -> Vec<u64> {
+    detection_counts_stats(circuit, faults, source, num_patterns).0
+}
+
+/// [`detection_counts`] plus the dense engine's work counters.
+///
+/// Runs over a persistent full [`FaultWorklist`] instead of the allocating
+/// [`FaultSimulator::detect_block`], so the streaming loop performs no
+/// per-block allocation.
+pub(crate) fn detection_counts_stats(
+    circuit: &Circuit,
+    faults: &FaultList,
+    mut source: impl PatternSource,
+    num_patterns: u64,
+) -> (Vec<u64>, SimStats) {
     let mut sim = FaultSimulator::new(circuit, faults);
     let mut counts = vec![0u64; faults.len()];
+    let mut worklist = FaultWorklist::full(faults.len());
     let mut done = 0u64;
     while done < num_patterns {
         let limit = (num_patterns - done).min(64) as u32;
         let block = source.next_block(limit);
-        let words = sim.detect_block(&block.words, block.mask());
-        for (i, w) in words.iter().enumerate() {
+        sim.detect_block_worklist(&block.words, block.mask(), &mut worklist, false, |i, w| {
             counts[i] += u64::from(w.count_ones());
-        }
+        });
         done += u64::from(block.len);
     }
-    counts
+    (counts, sim.stats())
 }
 
 #[cfg(test)]
@@ -445,6 +564,67 @@ mod tests {
     }
 
     #[test]
+    fn faults_sharing_an_effect_root_share_one_cone_slot() {
+        // High-fanin gate: 8 inputs all feeding one AND.  The full fault
+        // list has 2 stem + 16 pin faults on the AND — 18 faults whose
+        // effect root is the gate — plus 16 PI stem faults.  Only 9
+        // distinct roots exist, so only 9 cones may be stored.
+        let mut src = String::from("OUTPUT(y)\n");
+        let mut args = Vec::new();
+        for i in 0..8 {
+            src.push_str(&format!("INPUT(x{i})\n"));
+            args.push(format!("x{i}"));
+        }
+        src.push_str(&format!("y = AND({})\n", args.join(", ")));
+        let c = parse_bench(&src).unwrap();
+        let faults = FaultList::full(&c);
+        assert_eq!(faults.len(), 8 * 2 + 2 + 8 * 2);
+        let sim = FaultSimulator::new(&c, &faults);
+        assert_eq!(sim.num_distinct_cones(), 9, "one cone per effect root");
+        assert!(sim.num_distinct_cones() < sim.num_faults());
+    }
+
+    #[test]
+    fn filtered_and_into_variants_match_detect_block() {
+        let c = and_circuit();
+        let faults = FaultList::full(&c);
+        let mut sim = FaultSimulator::new(&c, &faults);
+        let words = vec![0b1010, 0b1100];
+        let all = sim.detect_block(&words, 0b1111);
+        let mut buf = Vec::new();
+        sim.detect_block_into(&words, 0b1111, &mut buf);
+        assert_eq!(all, buf);
+        // Filtered with every-other fault active; repeated calls reuse the
+        // internal scratch worklist.
+        let active: Vec<bool> = (0..faults.len()).map(|i| i % 2 == 0).collect();
+        for _ in 0..3 {
+            let filtered = sim.detect_block_filtered(&words, 0b1111, &active);
+            for (i, (&f, &a)) in filtered.iter().zip(&all).enumerate() {
+                assert_eq!(f, if active[i] { a } else { 0 }, "fault {i}");
+            }
+        }
+        let mut out = Vec::new();
+        sim.detect_block_filtered_into(&words, 0b1111, &active, &mut out);
+        assert_eq!(out, sim.detect_block_filtered(&words, 0b1111, &active));
+    }
+
+    #[test]
+    fn dense_stats_track_cone_work() {
+        let c = and_circuit();
+        let y = c.node_id("y").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::output(y, false)]);
+        let mut sim = FaultSimulator::new(&c, &faults);
+        // (1,1) in one pattern: excited and detected.
+        let _ = sim.detect_block(&[0b1, 0b1], 0b1);
+        let stats = sim.stats();
+        assert_eq!(stats.fault_blocks, 1);
+        assert_eq!(stats.unexcited, 0);
+        assert_eq!(stats.detected_blocks, 1);
+        sim.reset_stats();
+        assert_eq!(sim.stats(), crate::SimStats::default());
+    }
+
+    #[test]
     fn unexcited_fault_short_circuit() {
         // Fault value equals good value everywhere in block -> no detection
         // and the early-exit path is taken (covered implicitly).
@@ -465,6 +645,7 @@ mod proptests {
     use crate::patterns::ExhaustivePatterns;
     use crate::test_support::arb_circuit;
     use proptest::prelude::*;
+    use wrt_fault::FaultSite;
 
     /// Scalar reference fault simulation: inject the fault into a copy of
     /// the evaluation and compare outputs, bit by bit.

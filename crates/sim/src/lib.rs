@@ -10,6 +10,24 @@
 //! All randomness is deterministic and seed-driven ([`Xoshiro256`]), so
 //! every experiment in the workspace is bit-reproducible.
 //!
+//! # Engines
+//!
+//! Two PPSFP inner loops share one contract (selected via [`SimOptions`],
+//! results always bit-identical):
+//!
+//! * **dense** ([`FaultSimulator`]) — one `u64` block, per-fault cone
+//!   walk; the simple reference engine.
+//! * **event** ([`EventSimulator`]) — event-driven sparse propagation
+//!   over `W`-word superblocks ([`SuperBlock`], `W ∈ {1, 2, 4, 8}`):
+//!   only nodes actually reached by the fault effect are evaluated, and
+//!   each evaluation covers `64 * W` patterns.  See [`EventSimulator`]
+//!   for the ready-set invariants.
+//!
+//! [`fault_coverage_opts`] / [`detection_counts_opts`] (and their
+//! `_sharded_opts` variants) run the configured engine and also report
+//! machine-independent work counters ([`SimStats`]) — the metrics
+//! `BENCH_sim.json` tracks.
+//!
 //! # Sharded PPSFP
 //!
 //! The serial entry points ([`fault_coverage`], [`detection_counts`]) have
@@ -52,6 +70,7 @@
 //! ```
 
 mod coverage;
+mod event;
 mod fault_sim;
 mod logic;
 mod multiple;
@@ -62,11 +81,16 @@ mod rng;
 mod test_support;
 
 pub use coverage::{CoverageCurve, CoverageResult};
+pub use event::{
+    count_set_bits, detection_counts_opts, fault_coverage_opts, first_set_bit, superblock_split,
+    EventSimulator, SimEngineKind, SimOptions, SimStats, SuperBlock, SUPPORTED_BLOCK_WORDS,
+};
 pub use fault_sim::{detection_counts, fault_coverage, FaultSimulator, FaultWorklist};
 pub use parallel::{
-    available_threads, detection_counts_sharded, fault_coverage_sharded, recommended_threads,
+    available_threads, detection_counts_sharded, detection_counts_sharded_opts,
+    fault_coverage_sharded, fault_coverage_sharded_opts, recommended_threads,
 };
 pub use multiple::{detect_multiple, multiple_fault_coverage, random_multiples};
-pub use logic::{eval_gate_words, simulate_pattern, LogicSim};
+pub use logic::{eval_gate_lanes, eval_gate_words, simulate_pattern, LogicSim, WideLogicSim};
 pub use patterns::{ExhaustivePatterns, PatternBlock, PatternSource, WeightedPatterns};
 pub use rng::Xoshiro256;

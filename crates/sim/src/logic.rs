@@ -11,19 +11,119 @@ use wrt_circuit::{Circuit, GateKind, NodeId};
 ///
 /// Panics if `kind` is [`GateKind::Input`] (inputs have no gate function).
 pub fn eval_gate_words(kind: GateKind, fanin: impl IntoIterator<Item = u64>) -> u64 {
+    // The single-word instantiation of `eval_gate_lanes`, so the gate
+    // truth tables live in exactly one place.
+    eval_gate_lanes::<1>(kind, fanin.into_iter().map(|w| [w]))[0]
+}
+
+/// Lane-wise fold over `[u64; W]` words: `acc[k] = f(acc[k], w[k])` for
+/// every fanin word.  The fixed-size inner loop is straight-line code the
+/// autovectorizer turns into SIMD for `W > 1`.
+#[inline]
+fn fold_lanes<const W: usize>(
+    mut acc: [u64; W],
+    fanin: impl Iterator<Item = [u64; W]>,
+    f: impl Fn(u64, u64) -> u64,
+) -> [u64; W] {
+    for w in fanin {
+        for (a, b) in acc.iter_mut().zip(w) {
+            *a = f(*a, b);
+        }
+    }
+    acc
+}
+
+#[inline]
+fn not_lanes<const W: usize>(mut w: [u64; W]) -> [u64; W] {
+    for a in w.iter_mut() {
+        *a = !*a;
+    }
+    w
+}
+
+/// Evaluates one gate over `W`-word superblock fanin lanes: the `[u64; W]`
+/// generalization of [`eval_gate_words`], amortizing one gate dispatch over
+/// `64 * W` patterns.  Bit `j` of lane `k` is pattern `64 * k + j`.
+///
+/// # Panics
+///
+/// Panics if `kind` is [`GateKind::Input`] (inputs have no gate function).
+#[inline]
+pub fn eval_gate_lanes<const W: usize>(
+    kind: GateKind,
+    fanin: impl IntoIterator<Item = [u64; W]>,
+) -> [u64; W] {
     let mut it = fanin.into_iter();
     match kind {
         GateKind::Input => panic!("primary inputs have no gate function"),
-        GateKind::Const0 => 0,
-        GateKind::Const1 => u64::MAX,
-        GateKind::And => it.fold(u64::MAX, |acc, w| acc & w),
-        GateKind::Nand => !it.fold(u64::MAX, |acc, w| acc & w),
-        GateKind::Or => it.fold(0, |acc, w| acc | w),
-        GateKind::Nor => !it.fold(0, |acc, w| acc | w),
-        GateKind::Xor => it.fold(0, |acc, w| acc ^ w),
-        GateKind::Xnor => !it.fold(0, |acc, w| acc ^ w),
-        GateKind::Not => !it.next().expect("NOT has one fanin"),
+        GateKind::Const0 => [0; W],
+        GateKind::Const1 => [u64::MAX; W],
+        GateKind::And => fold_lanes([u64::MAX; W], it, |a, b| a & b),
+        GateKind::Nand => not_lanes(fold_lanes([u64::MAX; W], it, |a, b| a & b)),
+        GateKind::Or => fold_lanes([0; W], it, |a, b| a | b),
+        GateKind::Nor => not_lanes(fold_lanes([0; W], it, |a, b| a | b)),
+        GateKind::Xor => fold_lanes([0; W], it, |a, b| a ^ b),
+        GateKind::Xnor => not_lanes(fold_lanes([0; W], it, |a, b| a ^ b)),
+        GateKind::Not => not_lanes(it.next().expect("NOT has one fanin")),
         GateKind::Buf => it.next().expect("BUF has one fanin"),
+    }
+}
+
+/// Reusable `W`-word bit-parallel fault-free simulator: the superblock
+/// generalization of [`LogicSim`], holding one `[u64; W]` per node so a
+/// single forward pass covers `64 * W` patterns.
+///
+/// Like [`LogicSim`], no event scheduling is needed — node ids are
+/// topologically sorted by construction, so one sweep over `0..n` suffices.
+#[derive(Debug, Clone)]
+pub struct WideLogicSim<'c, const W: usize> {
+    circuit: &'c Circuit,
+    values: Vec<[u64; W]>,
+}
+
+impl<'c, const W: usize> WideLogicSim<'c, W> {
+    /// Creates a simulator for `circuit` with all values zero.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        WideLogicSim {
+            circuit,
+            values: vec![[0; W]; circuit.num_nodes()],
+        }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Simulates `64 * W` patterns: `pi_words[k]` holds the superblock
+    /// lanes of primary input `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != circuit.num_inputs()`.
+    pub fn run(&mut self, pi_words: &[[u64; W]]) {
+        assert_eq!(
+            pi_words.len(),
+            self.circuit.num_inputs(),
+            "one lane array per primary input"
+        );
+        for (id, node) in self.circuit.iter() {
+            let w = match node.kind() {
+                GateKind::Input => {
+                    pi_words[self.circuit.input_position(id).expect("input")]
+                }
+                kind => eval_gate_lanes(
+                    kind,
+                    node.fanin().iter().map(|f| self.values[f.index()]),
+                ),
+            };
+            self.values[id.index()] = w;
+        }
+    }
+
+    /// The simulated lanes at a node (valid after [`WideLogicSim::run`]).
+    pub fn value(&self, id: NodeId) -> [u64; W] {
+        self.values[id.index()]
     }
 }
 
@@ -184,6 +284,57 @@ mod tests {
     fn constants_evaluate_correctly_in_words() {
         assert_eq!(eval_gate_words(GateKind::Const0, []), 0);
         assert_eq!(eval_gate_words(GateKind::Const1, []), u64::MAX);
+        assert_eq!(eval_gate_lanes::<2>(GateKind::Const0, []), [0, 0]);
+        assert_eq!(
+            eval_gate_lanes::<2>(GateKind::Const1, []),
+            [u64::MAX, u64::MAX]
+        );
+    }
+
+    #[test]
+    fn wide_sim_lanes_match_one_word_runs() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(cout)\n\
+             x1 = XOR(a, b)\ns = XOR(x1, cin)\na1 = AND(a, b)\na2 = AND(x1, cin)\n\
+             cout = OR(a1, a2)\n",
+        )
+        .unwrap();
+        // 4 lanes of distinct words per input.
+        let lanes: Vec<[u64; 4]> = (0..3)
+            .map(|i| [0x0123 << i, 0x4567 << i, !(0x89AB << i), 0xCDEF << i])
+            .collect();
+        let mut wide = WideLogicSim::<4>::new(&c);
+        wide.run(&lanes);
+        let mut narrow = LogicSim::new(&c);
+        for k in 0..4 {
+            let words: Vec<u64> = lanes.iter().map(|l| l[k]).collect();
+            narrow.run(&words);
+            for id in c.ids() {
+                assert_eq!(wide.value(id)[k], narrow.value(id), "lane {k} node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_lanes_match_gate_words_per_lane() {
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        let a = [0x00FF_00FF_00FF_00FFu64, 0xDEAD_BEEF_0BAD_F00D];
+        let b = [0x0F0F_0F0F_0F0F_0F0Fu64, 0x1234_5678_9ABC_DEF0];
+        for kind in kinds {
+            let wide = eval_gate_lanes::<2>(kind, [a, b]);
+            for k in 0..2 {
+                assert_eq!(wide[k], eval_gate_words(kind, [a[k], b[k]]), "{kind:?}");
+            }
+        }
+        assert_eq!(eval_gate_lanes::<2>(GateKind::Not, [a]), [!a[0], !a[1]]);
+        assert_eq!(eval_gate_lanes::<2>(GateKind::Buf, [a]), a);
     }
 
     #[test]

@@ -35,7 +35,11 @@ use wrt_circuit::Circuit;
 use wrt_fault::{FaultList, FaultPartition};
 
 use crate::coverage::CoverageResult;
-use crate::fault_sim::{detection_counts, fault_coverage, FaultSimulator, FaultWorklist};
+use crate::event::{
+    count_set_bits, detection_counts_opts, fault_coverage_opts, first_set_bit, superblock_split,
+    with_block_words, EventSimulator, SimEngineKind, SimOptions, SimStats, SuperBlock,
+};
+use crate::fault_sim::{FaultSimulator, FaultWorklist};
 use crate::patterns::{PatternBlock, PatternSource};
 
 /// Pattern blocks per broadcast chunk (8 Ki patterns): large enough to
@@ -112,8 +116,9 @@ fn stream_chunks(
 /// its own bounded chunk channel, streams the pattern blocks, and merges
 /// each worker's per-shard vector back into `out` by fault id.
 ///
-/// `worker` receives the shard's fault sublist and its chunk receiver
-/// and returns one result per shard fault (in sublist order).
+/// `worker` receives the shard's fault sublist and its chunk receiver and
+/// returns one result per shard fault (in sublist order) plus the shard's
+/// work counters; the merged counters are returned.
 fn run_sharded<T: Send>(
     circuit: &Circuit,
     faults: &FaultList,
@@ -121,9 +126,10 @@ fn run_sharded<T: Send>(
     num_patterns: u64,
     threads: usize,
     out: &mut [T],
-    worker: impl Fn(FaultList, Receiver<Arc<Chunk>>) -> Vec<T> + Sync,
-) {
+    worker: impl Fn(FaultList, Receiver<Arc<Chunk>>) -> (Vec<T>, SimStats) + Sync,
+) -> SimStats {
     let partition = FaultPartition::cone_locality(circuit, faults, threads);
+    let mut stats = SimStats::default();
     std::thread::scope(|scope| {
         let worker = &worker;
         let mut senders = Vec::with_capacity(partition.num_shards());
@@ -137,12 +143,14 @@ fn run_sharded<T: Send>(
         }
         stream_chunks(source, num_patterns, senders);
         for (s, handle) in handles.into_iter().enumerate() {
-            let local = handle.join().expect("fault-sim worker panicked");
+            let (local, local_stats) = handle.join().expect("fault-sim worker panicked");
+            stats.merge(&local_stats);
             for (value, &id) in local.into_iter().zip(partition.shard(s)) {
                 out[id.index()] = value;
             }
         }
     });
+    stats
 }
 
 /// Sharded [`fault_coverage`]: identical results, fanned out over
@@ -162,47 +170,147 @@ pub fn fault_coverage_sharded(
     drop: bool,
     threads: usize,
 ) -> CoverageResult {
+    fault_coverage_sharded_opts(
+        circuit,
+        faults,
+        source,
+        num_patterns,
+        drop,
+        threads,
+        SimOptions::dense(),
+    )
+    .0
+}
+
+/// [`fault_coverage_sharded`] with a configurable inner loop
+/// ([`SimOptions`]): each shard worker runs the selected engine (dense
+/// cone walk or event-driven superblocks).  Results are bit-identical
+/// across engines, widths, and thread counts; the merged work counters
+/// are returned alongside.
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`SimOptions::validate`].
+pub fn fault_coverage_sharded_opts(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    drop: bool,
+    threads: usize,
+    opts: SimOptions,
+) -> (CoverageResult, SimStats) {
     let threads = recommended_threads(threads, faults.len());
     if threads <= 1 || faults.len() <= 1 {
-        return fault_coverage(circuit, faults, source, num_patterns, drop);
+        return fault_coverage_opts(circuit, faults, source, num_patterns, drop, opts);
     }
+    opts.validate().expect("invalid SimOptions");
     let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
-    run_sharded(
+    let stats = run_sharded(
         circuit,
         faults,
         source,
         num_patterns,
         threads,
         &mut detected_at,
-        |sublist, rx| {
-            let mut sim = FaultSimulator::new(circuit, &sublist);
-            let mut worklist = FaultWorklist::full(sublist.len());
-            let mut local: Vec<Option<u64>> = vec![None; sublist.len()];
-            'chunks: while let Ok(chunk) = rx.recv() {
-                let mut done = chunk.start;
-                for block in &chunk.blocks {
-                    if drop && worklist.is_empty() {
-                        // Hang up: the producer stops feeding this shard.
-                        break 'chunks;
-                    }
-                    sim.detect_block_worklist(
-                        &block.words,
-                        block.mask(),
-                        &mut worklist,
-                        drop,
-                        |i, w| {
-                            if local[i].is_none() {
-                                local[i] = Some(done + u64::from(w.trailing_zeros()));
-                            }
-                        },
-                    );
-                    done += u64::from(block.len);
-                }
-            }
-            local
+        |sublist, rx| match opts.engine {
+            SimEngineKind::Dense => coverage_worker_dense(circuit, sublist, rx, drop),
+            SimEngineKind::Event => with_block_words!(opts.block_words, W => {
+                coverage_worker_event::<W>(circuit, sublist, rx, drop)
+            }),
         },
     );
-    CoverageResult::new(detected_at, num_patterns)
+    (CoverageResult::new(detected_at, num_patterns), stats)
+}
+
+fn coverage_worker_dense(
+    circuit: &Circuit,
+    sublist: FaultList,
+    rx: Receiver<Arc<Chunk>>,
+    drop: bool,
+) -> (Vec<Option<u64>>, SimStats) {
+    let mut sim = FaultSimulator::new(circuit, &sublist);
+    let mut worklist = FaultWorklist::full(sublist.len());
+    let mut local: Vec<Option<u64>> = vec![None; sublist.len()];
+    'chunks: while let Ok(chunk) = rx.recv() {
+        let mut done = chunk.start;
+        for block in &chunk.blocks {
+            if drop && worklist.is_empty() {
+                // Hang up: the producer stops feeding this shard.
+                break 'chunks;
+            }
+            sim.detect_block_worklist(&block.words, block.mask(), &mut worklist, drop, |i, w| {
+                if local[i].is_none() {
+                    local[i] = Some(done + u64::from(w.trailing_zeros()));
+                }
+            });
+            done += u64::from(block.len);
+        }
+    }
+    let stats = sim.stats();
+    (local, stats)
+}
+
+/// Groups `blocks` into `W`-wide superblocks (refilling `sb` in place)
+/// and invokes `f` on each; `f` returning `false` stops early.
+///
+/// The one copy of the bit-identity-critical grouping rule shared by the
+/// event workers: boundaries come from [`superblock_split`] — extend only
+/// across full blocks — and `CHUNK_BLOCKS` is a multiple of every
+/// supported width, so worker grouping coincides with the serial
+/// engine's [`SuperBlock::refill_draw`] stream grouping.
+fn for_each_superblock<const W: usize>(
+    blocks: &[PatternBlock],
+    sb: &mut SuperBlock<W>,
+    mut f: impl FnMut(&SuperBlock<W>) -> bool,
+) {
+    let mut idx = 0;
+    while idx < blocks.len() {
+        let take = superblock_split(&blocks[idx..], W);
+        sb.refill_from_blocks(&blocks[idx..idx + take]);
+        if !f(sb) {
+            return;
+        }
+        idx += take;
+    }
+}
+
+/// Event-engine coverage worker: one [`EventSimulator`] per shard over
+/// the broadcast chunks' superblocks.
+fn coverage_worker_event<const W: usize>(
+    circuit: &Circuit,
+    sublist: FaultList,
+    rx: Receiver<Arc<Chunk>>,
+    drop: bool,
+) -> (Vec<Option<u64>>, SimStats) {
+    let mut sim = EventSimulator::<W>::new(circuit, &sublist);
+    let mut worklist = FaultWorklist::full(sublist.len());
+    let mut local: Vec<Option<u64>> = vec![None; sublist.len()];
+    let mut sb = SuperBlock::<W>::empty(circuit.num_inputs());
+    while let Ok(chunk) = rx.recv() {
+        let mut done = chunk.start;
+        let mut drained = false;
+        for_each_superblock(&chunk.blocks, &mut sb, |sb| {
+            if drop && worklist.is_empty() {
+                drained = true;
+                return false;
+            }
+            sim.detect_superblock_worklist(&sb.words, sb.mask(), &mut worklist, drop, |i, w| {
+                if local[i].is_none() {
+                    let bit = first_set_bit(&w).expect("on_detect implies a set bit");
+                    local[i] = Some(done + u64::from(bit));
+                }
+            });
+            done += u64::from(sb.len);
+            true
+        });
+        if drained {
+            // Hang up: the producer stops feeding this shard.
+            break;
+        }
+    }
+    let stats = sim.stats();
+    (local, stats)
 }
 
 /// Sharded [`detection_counts`]: identical counts, fanned out over
@@ -219,37 +327,93 @@ pub fn detection_counts_sharded(
     num_patterns: u64,
     threads: usize,
 ) -> Vec<u64> {
+    detection_counts_sharded_opts(
+        circuit,
+        faults,
+        source,
+        num_patterns,
+        threads,
+        SimOptions::dense(),
+    )
+    .0
+}
+
+/// [`detection_counts_sharded`] with a configurable inner loop
+/// ([`SimOptions`]); identical counts for every engine/width/thread
+/// combination, merged work counters alongside.
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`SimOptions::validate`].
+pub fn detection_counts_sharded_opts(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    threads: usize,
+    opts: SimOptions,
+) -> (Vec<u64>, SimStats) {
     let threads = recommended_threads(threads, faults.len());
     if threads <= 1 || faults.len() <= 1 {
-        return detection_counts(circuit, faults, source, num_patterns);
+        return detection_counts_opts(circuit, faults, source, num_patterns, opts);
     }
+    opts.validate().expect("invalid SimOptions");
     let mut counts = vec![0u64; faults.len()];
-    run_sharded(
+    let stats = run_sharded(
         circuit,
         faults,
         source,
         num_patterns,
         threads,
         &mut counts,
-        |sublist, rx| {
-            let mut sim = FaultSimulator::new(circuit, &sublist);
-            let mut worklist = FaultWorklist::full(sublist.len());
-            let mut local = vec![0u64; sublist.len()];
-            while let Ok(chunk) = rx.recv() {
-                for block in &chunk.blocks {
-                    sim.detect_block_worklist(
-                        &block.words,
-                        block.mask(),
-                        &mut worklist,
-                        false,
-                        |i, w| local[i] += u64::from(w.count_ones()),
-                    );
-                }
-            }
-            local
+        |sublist, rx| match opts.engine {
+            SimEngineKind::Dense => counts_worker_dense(circuit, sublist, rx),
+            SimEngineKind::Event => with_block_words!(opts.block_words, W => {
+                counts_worker_event::<W>(circuit, sublist, rx)
+            }),
         },
     );
-    counts
+    (counts, stats)
+}
+
+fn counts_worker_dense(
+    circuit: &Circuit,
+    sublist: FaultList,
+    rx: Receiver<Arc<Chunk>>,
+) -> (Vec<u64>, SimStats) {
+    let mut sim = FaultSimulator::new(circuit, &sublist);
+    let mut worklist = FaultWorklist::full(sublist.len());
+    let mut local = vec![0u64; sublist.len()];
+    while let Ok(chunk) = rx.recv() {
+        for block in &chunk.blocks {
+            sim.detect_block_worklist(&block.words, block.mask(), &mut worklist, false, |i, w| {
+                local[i] += u64::from(w.count_ones())
+            });
+        }
+    }
+    let stats = sim.stats();
+    (local, stats)
+}
+
+fn counts_worker_event<const W: usize>(
+    circuit: &Circuit,
+    sublist: FaultList,
+    rx: Receiver<Arc<Chunk>>,
+) -> (Vec<u64>, SimStats) {
+    let mut sim = EventSimulator::<W>::new(circuit, &sublist);
+    let mut worklist = FaultWorklist::full(sublist.len());
+    let mut local = vec![0u64; sublist.len()];
+    let mut sb = SuperBlock::<W>::empty(circuit.num_inputs());
+    while let Ok(chunk) = rx.recv() {
+        for_each_superblock(&chunk.blocks, &mut sb, |sb| {
+            sim.detect_superblock_worklist(&sb.words, sb.mask(), &mut worklist, false, |i, w| {
+                local[i] += u64::from(count_set_bits(&w))
+            });
+            true
+        });
+    }
+    let stats = sim.stats();
+    (local, stats)
 }
 
 #[cfg(test)]
