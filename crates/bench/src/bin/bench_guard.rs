@@ -1,0 +1,236 @@
+//! Benchmark-artifact guard: validates `BENCH_sim.json` and
+//! `BENCH_optimize.json` so the committed artifacts cannot silently go
+//! stale or corrupt.
+//!
+//! The bench binaries assert their own invariants at generation time,
+//! but the *committed* artifacts are edited, rebased and merged like any
+//! other file — this guard re-checks them on every CI run:
+//!
+//! * every `"bit_identical"` field must be `true`;
+//! * every numeric field must parse as a **finite** `f64` — a recorded
+//!   `NaN`/`inf` ratio (e.g. a zero-denominator eval reduction) fails
+//!   the build instead of shipping as a quietly meaningless number;
+//! * each file must contain at least one `bit_identical` field and one
+//!   numeric field, so an emptied/truncated artifact cannot pass by
+//!   vacuity.
+//!
+//! Run with `cargo run --release -p wrt-bench --bin bench_guard --
+//! [FILE ...]`; with no arguments it checks the two default artifacts in
+//! the current directory.  Exits non-zero with one line per violation.
+//!
+//! The scanner is a minimal JSON key/value walker (the workspace has no
+//! JSON dependency by design): it tokenizes `"key": value` pairs,
+//! ignores strings and structural characters, and classifies every bare
+//! value token.  That is sufficient — and strict — for the flat
+//! numeric/boolean schema the bench writers emit: any bare token that is
+//! neither a finite number nor `true`/`false`/`null` (so `NaN`,
+//! `Infinity`, `-inf`, or plain corruption) is a violation.
+
+use std::process::ExitCode;
+
+/// One `"key": <bare value>` occurrence found in the artifact.
+struct BareValue {
+    key: String,
+    value: String,
+    line: usize,
+}
+
+/// Extracts every key whose value is a bare (unquoted) token.  String
+/// values are skipped (they are prose notes or names); nested
+/// objects/arrays recurse naturally because only `"key": token` pairs
+/// are matched.
+fn bare_values(text: &str) -> Vec<BareValue> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut current_key: Option<String> = None;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'"' => {
+                // Scan a string literal (the schema emits no escapes,
+                // but skip over backslash pairs defensively).
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let literal = text.get(start..j).unwrap_or("").to_string();
+                i = (j + 1).min(bytes.len());
+                // A string followed by ':' is a key; otherwise it is a
+                // string value and closes any open key.
+                let mut k = i;
+                while k < bytes.len() && (bytes[k] == b' ' || bytes[k] == b'\t') {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b':' {
+                    current_key = Some(literal);
+                    i = k + 1;
+                } else {
+                    current_key = None;
+                }
+            }
+            b'{' | b'}' | b'[' | b']' | b',' | b':' | b' ' | b'\t' | b'\r' => {
+                i += 1;
+            }
+            _ => {
+                // A bare token: number, boolean, null, or corruption.
+                let start = i;
+                while i < bytes.len()
+                    && !matches!(
+                        bytes[i],
+                        b',' | b'}' | b']' | b'\n' | b' ' | b'\t' | b'\r'
+                    )
+                {
+                    i += 1;
+                }
+                let token = text[start..i].to_string();
+                // Keyless bare tokens (array elements, or structural
+                // corruption) are validated too, under a placeholder
+                // key — nothing slips past the guard unclassified.
+                let key = current_key
+                    .take()
+                    .unwrap_or_else(|| "(array element)".to_string());
+                out.push(BareValue {
+                    key,
+                    value: token,
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Validates one artifact; returns human-readable violations.
+fn check_artifact(path: &str, text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let values = bare_values(text);
+    let mut bit_identical_fields = 0usize;
+    let mut numeric_fields = 0usize;
+    for v in &values {
+        if v.key == "bit_identical" {
+            bit_identical_fields += 1;
+            if v.value != "true" {
+                violations.push(format!(
+                    "{path}:{}: \"bit_identical\" is `{}` — a recorded engine divergence",
+                    v.line, v.value
+                ));
+            }
+            continue;
+        }
+        match v.value.as_str() {
+            "true" | "false" | "null" => {}
+            token => match token.parse::<f64>() {
+                Ok(x) if x.is_finite() => numeric_fields += 1,
+                _ => violations.push(format!(
+                    "{path}:{}: \"{}\" is `{token}` — not a finite number",
+                    v.line, v.key
+                )),
+            },
+        }
+    }
+    if bit_identical_fields == 0 {
+        violations.push(format!(
+            "{path}: no \"bit_identical\" field at all — truncated or wrong artifact"
+        ));
+    }
+    if numeric_fields == 0 {
+        violations.push(format!("{path}: no numeric fields — empty artifact"));
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<String> = if args.is_empty() {
+        vec!["BENCH_sim.json".into(), "BENCH_optimize.json".into()]
+    } else {
+        args
+    };
+    let mut violations = Vec::new();
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => violations.extend(check_artifact(path, &text)),
+            Err(e) => violations.push(format!("{path}: unreadable: {e}")),
+        }
+    }
+    if violations.is_empty() {
+        println!("bench artifacts OK: {}", files.join(", "));
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_guard: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_artifact_passes() {
+        let text = "{\n  \"note\": \"prose with NaN inside a string\",\n  \"results\": [\n    { \"eval_reduction\": 3.25, \"bit_identical\": true }\n  ]\n}\n";
+        assert!(check_artifact("x.json", text).is_empty());
+    }
+
+    #[test]
+    fn false_bit_identity_is_flagged() {
+        let text = "{ \"eval_reduction\": 1.0, \"bit_identical\": false }";
+        let v = check_artifact("x.json", text);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit_identical"));
+    }
+
+    #[test]
+    fn nan_and_inf_ratios_are_flagged() {
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            let text =
+                format!("{{ \"speedup\": {bad}, \"bit_identical\": true, \"x\": 1.0 }}");
+            let v = check_artifact("x.json", &text);
+            assert_eq!(v.len(), 1, "token {bad}: {v:?}");
+            assert!(v[0].contains("speedup"), "token {bad}");
+        }
+    }
+
+    #[test]
+    fn keyless_tokens_inside_arrays_are_still_validated() {
+        let text = "{ \"xs\": [1.0, NaN, 2.0], \"bit_identical\": true }";
+        let v = check_artifact("x.json", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("NaN"));
+    }
+
+    #[test]
+    fn empty_or_gutted_artifacts_cannot_pass_by_vacuity() {
+        let v = check_artifact("x.json", "{}");
+        assert_eq!(v.len(), 2);
+        let v = check_artifact("x.json", "{ \"bit_identical\": true }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("numeric"));
+    }
+
+    #[test]
+    fn committed_artifacts_are_clean() {
+        // The repository's own artifacts must satisfy the guard; the
+        // test runs from the crate directory, so walk up to the root.
+        for name in ["BENCH_sim.json", "BENCH_optimize.json"] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(name);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let v = check_artifact(name, &text);
+            assert!(v.is_empty(), "{name}: {v:?}");
+        }
+    }
+}

@@ -309,6 +309,108 @@ mod tests {
     }
 
     #[test]
+    fn boundary_weights_snap_to_the_extreme_realizable_dyadics() {
+        // p = 0.0 and p = 1.0 (the m = 0 / m = 2^k grid boundaries) are
+        // not realizable by ANDing k LFSR bits; `closest` must snap them
+        // to the extreme realizable weights 2^-k and 1 − 2^-k — never
+        // panic, never produce a degenerate 0-bit configuration.
+        for max_bits in 1..=8u32 {
+            let zero = DyadicWeight::closest(0.0, max_bits);
+            assert_eq!(zero.bits, max_bits);
+            assert!(!zero.invert);
+            assert_eq!(zero.realized(), 0.5f64.powi(max_bits as i32));
+            let one = DyadicWeight::closest(1.0, max_bits);
+            assert_eq!(one.bits, max_bits);
+            assert!(one.invert);
+            assert_eq!(one.realized(), 1.0 - 0.5f64.powi(max_bits as i32));
+            // Out-of-range requests clamp to the same boundaries.
+            assert_eq!(DyadicWeight::closest(-3.0, max_bits), zero);
+            assert_eq!(DyadicWeight::closest(7.0, max_bits), one);
+        }
+    }
+
+    #[test]
+    fn exhaustive_dyadic_grid_snaps_within_half_a_step() {
+        // Every m / 2^k on the k ≤ 6 grid (boundaries included): the
+        // snapped weight must be the best realizable approximation, and
+        // exactly representable requests (interior grid points with one
+        // significant bit) must round-trip exactly.
+        let max_bits = 6u32;
+        for k in 1u32..=max_bits {
+            let denom = 1u64 << k;
+            for m in 0..=denom {
+                let w = m as f64 / denom as f64;
+                let snapped = DyadicWeight::closest(w, max_bits).realized();
+                let err = (snapped - w).abs();
+                // Best possible error over the realizable set.
+                let best = (1..=max_bits)
+                    .flat_map(|b| {
+                        let base = 0.5f64.powi(b as i32);
+                        [base, 1.0 - base]
+                    })
+                    .map(|r| (r - w).abs())
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    err <= best + 1e-15,
+                    "w = {m}/{denom}: snapped to {snapped} (err {err}, best {best})"
+                );
+            }
+        }
+        // One-bit interior points are exact.
+        assert_eq!(DyadicWeight::closest(0.125, max_bits).realized(), 0.125);
+        assert_eq!(DyadicWeight::closest(0.875, max_bits).realized(), 0.875);
+    }
+
+    #[test]
+    fn half_weight_is_stream_identical_to_the_raw_lfsr() {
+        // bits = 1, no inversion: the generated word must be the private
+        // stream's raw word — the generator adds nothing on top (the
+        // scalar-compare analogue of the software path's p = 0.5 case).
+        let seed = 0xFEED;
+        let mut generator = WeightedLfsr::new(
+            vec![
+                DyadicWeight { bits: 1, invert: false },
+                DyadicWeight { bits: 1, invert: true },
+            ],
+            seed,
+        );
+        let mut raw0 = Lfsr::maximal(STREAM_DEGREE, stream_seed(seed, 0)).unwrap();
+        let mut raw1 = Lfsr::maximal(STREAM_DEGREE, stream_seed(seed, 1)).unwrap();
+        for _ in 0..16 {
+            let block = generator.next_block(64);
+            assert_eq!(block.words[0], raw0.next_word(64));
+            assert_eq!(block.words[1], !raw1.next_word(64));
+        }
+    }
+
+    #[test]
+    fn boundary_snapped_weights_consume_exactly_bits_words_per_block() {
+        // A boundary weight snapped to 2^-k (or 1 − 2^-k) ANDs exactly k
+        // raw words per block: the stream advance is the configured bit
+        // budget, nothing more — mirroring the raw stream proves both
+        // the draw count and the word values.
+        let seed = 0xB0B;
+        let max_bits = 4u32;
+        let mut generator = WeightedLfsr::from_weights(&[0.0, 1.0], max_bits, seed);
+        let mut raw0 = Lfsr::maximal(STREAM_DEGREE, stream_seed(seed, 0)).unwrap();
+        let mut raw1 = Lfsr::maximal(STREAM_DEGREE, stream_seed(seed, 1)).unwrap();
+        for _ in 0..8 {
+            let block = generator.next_block(64);
+            let mut and0 = u64::MAX;
+            let mut and1 = u64::MAX;
+            for _ in 0..max_bits {
+                and0 &= raw0.next_word(64);
+                and1 &= raw1.next_word(64);
+            }
+            assert_eq!(block.words[0], and0, "weight 0.0 snaps to 2^-4");
+            assert_eq!(block.words[1], !and1, "weight 1.0 snaps to 1 - 2^-4");
+        }
+        // And the realized densities are one-sided as the snap dictates.
+        let realized = generator.realized_weights();
+        assert_eq!(realized, vec![0.0625, 0.9375]);
+    }
+
+    #[test]
     fn input_streams_are_pairwise_decorrelated() {
         let mut generator = WeightedLfsr::from_weights(&[0.5; 3], 4, 0xACE);
         let blocks = 200u32;

@@ -40,7 +40,9 @@ mod stats;
 mod write;
 
 pub use builder::CircuitBuilder;
-pub use cone::{input_support, output_cone, transitive_fanin, transitive_fanout, FanoutCones};
+pub use cone::{
+    input_support, output_cone, transitive_fanin, transitive_fanout, ConeUnion, FanoutCones,
+};
 pub use error::{BuildCircuitError, ParseBenchError};
 pub use gate::GateKind;
 pub use levelize::Levels;

@@ -16,11 +16,15 @@ commands:
   stats    <circuit>                              circuit statistics
   analyze  <circuit>                              testability report
   optimize <circuit> [--grid G] [--confidence C] [--engine E] [--threads T]
-           [--seed S] [--mc-patterns N]
+           [--seed S] [--mc-patterns N] [--commit-batch K]
            optimized input probabilities;
            E = incremental-cop (default; cone-restricted per-coordinate
            recompute, bit-identical to cop) | cop | stafan | monte-carlo
-           (--seed and --mc-patterns apply to the sampling engines)
+           (--seed and --mc-patterns apply to the sampling engines).
+           --commit-batch K (incremental-cop only, default 4) defers up
+           to K coordinate moves in a pending overlay before
+           materializing; K = 0 or 1 commits every move immediately.
+           Results are bit-identical for every K.
   simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
            [--engine dense|event] [--block-words W]
            weighted-random fault simulation;
@@ -160,10 +164,21 @@ fn engine_arg(args: &[String]) -> Result<Box<dyn DetectionProbabilityEngine>, St
     if engine.ends_with("cop") && flag_value(args, "--seed").is_some() {
         return Err("--seed only applies to sampling engines (stafan, monte-carlo)".into());
     }
+    if engine != "incremental-cop" && flag_value(args, "--commit-batch").is_some() {
+        return Err(
+            "--commit-batch only applies to the pending-overlay engine; use --engine incremental-cop"
+                .into(),
+        );
+    }
     let threads: usize = parse_flag(args, "--threads", 0)?;
     let seed: u64 = parse_flag(args, "--seed", 42)?;
     Ok(match engine {
-        "incremental-cop" => Box::new(IncrementalCop::new()),
+        "incremental-cop" => {
+            // Default batch 4: the measured sweet spot on the wide- and
+            // global-cone workloads; 0/1 fall back to per-move commits.
+            let batch: usize = parse_flag(args, "--commit-batch", 4)?;
+            Box::new(IncrementalCop::new().with_commit_batch(batch))
+        }
         "cop" => Box::new(CopEngine::new()),
         "stafan" => Box::new(StafanEngine::new(64 * 256, seed)),
         "monte-carlo" => {
@@ -381,6 +396,61 @@ mod tests {
             let a = args(&["c880ish", "--patterns", "256", "--threads", t]);
             assert!(simulate(&a).is_ok(), "--threads {t}");
         }
+    }
+
+    #[test]
+    fn threads_zero_is_the_documented_auto_fallback() {
+        // `--threads 0` means "all cores" everywhere, never a panic or a
+        // zero-worker deadlock — on simulate and on the monte-carlo
+        // optimize path alike.
+        let a = args(&["c880ish", "--patterns", "128", "--threads", "0"]);
+        assert!(simulate(&a).is_ok());
+        let o = args(&[
+            "s1",
+            "--engine",
+            "monte-carlo",
+            "--threads",
+            "0",
+            "--mc-patterns",
+            "256",
+        ]);
+        assert!(optimize(&o).is_ok());
+    }
+
+    #[test]
+    fn thread_counts_beyond_the_fault_list_are_clamped_not_fatal() {
+        // s1 has a handful of faults; 64 requested shards exceed the
+        // fault-list length.  The sharded engine clamps (empty shards
+        // are simply never created) instead of panicking.
+        let a = args(&["s1", "--patterns", "128", "--threads", "64"]);
+        assert!(simulate(&a).is_ok());
+        let o = args(&[
+            "s1",
+            "--engine",
+            "monte-carlo",
+            "--threads",
+            "64",
+            "--mc-patterns",
+            "256",
+        ]);
+        assert!(optimize(&o).is_ok());
+    }
+
+    #[test]
+    fn commit_batch_edge_values_degrade_to_per_move_mode() {
+        // 0 and 1 are the documented per-move (PR 3) fallbacks; both
+        // must run end to end, as must the batched default.
+        for batch in ["0", "1", "4"] {
+            let a = args(&["s1", "--commit-batch", batch]);
+            assert!(optimize(&a).is_ok(), "--commit-batch {batch}");
+        }
+        // Malformed values are clean errors, not panics.
+        assert!(optimize(&args(&["s1", "--commit-batch", "lots"])).is_err());
+        // The flag is tied to the engine that implements it.
+        assert!(engine_arg(&args(&["--engine", "cop", "--commit-batch", "4"])).is_err());
+        assert!(
+            engine_arg(&args(&["--engine", "stafan", "--commit-batch", "2"])).is_err()
+        );
     }
 
     #[test]

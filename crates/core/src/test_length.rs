@@ -117,9 +117,26 @@ pub fn required_test_length(dprobs: &[f64], theta: f64) -> TestLength {
     let n = hi.ceil();
 
     // Relevant faults: individual contribution at N still above a drowned
-    // threshold relative to θ.
-    let cutoff = n * hardest(dprobs) + (1e6f64).ln();
-    let num_relevant = dprobs.iter().filter(|&&p| n * p <= cutoff).count();
+    // threshold relative to θ.  A fault is relevant when its exponent is
+    // within ln(10^6) of the hardest fault's, i.e.
+    // `n·p ≤ n·hardest + ln(10^6)`.  That textbook form is computed here
+    // as `n·(p − hardest) ≤ ln(10^6)`: mathematically identical, but the
+    // difference keeps the product finite (each factor is bounded) where
+    // `n·hardest` could overflow to `inf` for huge N and then poison the
+    // comparison (`inf + ln(10^6) = inf`, and a non-finite p would turn
+    // it into `inf − inf = NaN`, which compares false and silently drops
+    // faults).  Non-finite excesses (a caller-supplied `inf`/NaN
+    // probability) are explicitly irrelevant rather than
+    // comparison-order-dependent.
+    let h = hardest(dprobs);
+    let drown_margin = (1e6f64).ln();
+    let num_relevant = dprobs
+        .iter()
+        .filter(|&&p| {
+            let excess = n * (p - h); // ≥ 0: h is the minimum
+            excess.is_finite() && excess <= drown_margin
+        })
+        .count();
     TestLength::Patterns {
         n,
         num_relevant: num_relevant.max(1),
@@ -206,5 +223,68 @@ mod tests {
         let tl = required_test_length(&[2.0f64.powi(-32)], 1e-3);
         let n = tl.patterns();
         assert!(n > 1e10 && n < 1e12, "N = {n}");
+    }
+
+    #[test]
+    fn degenerate_thresholds_stay_finite_and_consistent() {
+        // Huge θ: zero patterns suffice; tiny θ at detectable faults
+        // still resolves to a finite N and a well-defined relevant count.
+        let dprobs = [0.3, 0.01];
+        let huge = required_test_length(&dprobs, 1e9);
+        assert_eq!(huge.patterns(), 0.0);
+        assert_eq!(huge.num_relevant(), 0);
+        let tiny = required_test_length(&dprobs, 1e-300);
+        let n = tiny.patterns();
+        assert!(n.is_finite() && n > 0.0, "N = {n}");
+        assert!(tiny.num_relevant() >= 1);
+        // A fault below the exponential-search range is honestly infinite.
+        let hopeless = required_test_length(&[1e-17], 1e-300);
+        assert_eq!(hopeless, TestLength::Infinite);
+    }
+
+    #[test]
+    fn extreme_probability_ratios_never_yield_nan_relevance() {
+        // Regression: the old cutoff computed `n·hardest + ln(10^6)`,
+        // which mixes a potentially huge product with the offset; the
+        // hardened filter compares `n·(p − hardest)` instead.  At an
+        // extreme ratio the easy fault must drown, the hard fault must
+        // stay, and both counts must be exact — not NaN-dependent.
+        let tl = required_test_length(&[1e-10, 0.9], 1e-3);
+        assert!(tl.patterns().is_finite());
+        assert_eq!(tl.num_relevant(), 1);
+        // Near-ties at the hard end all stay relevant.
+        let tied = required_test_length(&[1e-10, 1.0000001e-10, 0.9], 1e-3);
+        assert_eq!(tied.num_relevant(), 2);
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_irrelevant_not_poisonous() {
+        // Caller-supplied garbage (an `inf` estimate) must not drag the
+        // whole relevant count to 0-via-NaN: the finite faults keep
+        // their classification and the `inf` one is simply irrelevant.
+        let tl = required_test_length(&[0.01, f64::INFINITY], 1e-3);
+        assert!(tl.patterns().is_finite());
+        assert_eq!(tl.num_relevant(), 1);
+    }
+
+    #[test]
+    fn relevance_filter_matches_legacy_form_on_normal_inputs() {
+        // On well-behaved inputs the hardened filter agrees with the
+        // legacy `n·p ≤ n·hardest + ln(10^6)` cutoff.
+        for dprobs in [
+            vec![1e-6, 1e-5, 3e-6, 0.5],
+            vec![0.2, 0.21, 0.9],
+            vec![1e-4; 7],
+        ] {
+            let tl = required_test_length(&dprobs, 1e-3);
+            let n = tl.patterns();
+            let h = dprobs.iter().copied().fold(f64::INFINITY, f64::min);
+            let legacy = dprobs
+                .iter()
+                .filter(|&&p| n * p <= n * h + (1e6f64).ln())
+                .count()
+                .max(1);
+            assert_eq!(tl.num_relevant(), legacy, "dprobs = {dprobs:?}");
+        }
     }
 }

@@ -59,10 +59,44 @@
 //! calls), the engine commits a single cone-restricted update instead of
 //! rebuilding, so on cone-local circuits a whole coordinate-descent sweep
 //! performs no full pass at all after the first.
+//!
+//! # Batched pending overlay (wide and global cones)
+//!
+//! Per-move commits are the right trade only while cones are local.  On
+//! wide-cone circuits every commit's backward region covers much of the
+//! netlist, and the regions of successive commits overlap almost
+//! entirely; on globally connected circuits the per-move guard degrades
+//! to full rebuilds and stateless passes.  The **batched mode**
+//! ([`with_commit_batch`](IncrementalCop::with_commit_batch), `K ≥ 2`)
+//! therefore defers commits instead of applying them:
+//!
+//! * a coordinate move only records its delta in the pending weight
+//!   vector and absorbs its fanout cone into the **union frontier**
+//!   ([`wrt_circuit::ConeUnion`]) — no node is evaluated at all;
+//! * a query is answered against `baseline ∪ pending ∪ query-overlay`:
+//!   the dirty cone is the union frontier merged with the queried
+//!   coordinate's cone, and the existing demand-driven machinery
+//!   (lazy probabilities, mask-clipped backward walk) computes exactly
+//!   the values the query reads, at the pending weights with the query
+//!   coordinate overridden.  The pending layer itself stores no values,
+//!   so every compare-against-baseline prune stays exact;
+//! * the pending layer **materializes** — one shared eager forward pass
+//!   over the union frontier plus one shared backward push-on-change
+//!   pass, then a fold into the baseline — only when `K` moves have
+//!   accumulated, when the union frontier exceeds its budget
+//!   ([`frontier_exceeds_budget`]), or when an unmasked ANALYSIS query
+//!   arrives.  `K` overlapping per-move backward regions collapse into
+//!   one union-sized region, which is where the batched win comes from.
+//!
+//! `K ≤ 1` keeps the exact per-move behavior above (the PR 3 engine);
+//! results are bit-identical to full COP in every mode — the
+//! multi-coordinate walk property test in
+//! `tests/incremental_agreement.rs` covers randomized batch sizes and
+//! forced materialization points.
 
 use std::collections::BinaryHeap;
 
-use wrt_circuit::{transitive_fanout, Circuit, FanoutCones, GateKind, NodeId};
+use wrt_circuit::{transitive_fanout, Circuit, ConeUnion, FanoutCones, GateKind, NodeId};
 use wrt_fault::{FaultList, FaultSite};
 
 use crate::cop::{
@@ -95,6 +129,18 @@ pub struct IncrementalStats {
     pub perturbations: u64,
     /// Stateless full-pass estimates taken by the global-cone guard.
     pub stateless_estimates: u64,
+    /// Deferred coordinate moves absorbed into the pending overlay
+    /// (batched mode; each costs zero node evaluations at move time).
+    pub pending_moves: u64,
+    /// Pending-overlay materializations: shared multi-coordinate resolve
+    /// passes folding the union frontier into the baseline.
+    pub materializations: u64,
+    /// Sum of union-frontier sizes at materialization time
+    /// (`/ materializations` = the average frontier one shared resolve
+    /// pass covered).
+    pub union_frontier_sum: u64,
+    /// Largest pending union frontier observed.
+    pub union_frontier_peak: u64,
 }
 
 /// A coordinate whose fanout cone covers at least this fraction of the
@@ -113,6 +159,19 @@ const GLOBAL_CONE_DENOM: usize = 2;
 
 fn cone_is_global(cone_len: usize, num_nodes: usize) -> bool {
     cone_len * GLOBAL_CONE_DENOM >= num_nodes * GLOBAL_CONE_NUMER
+}
+
+/// Union-frontier budget of the batched pending overlay: once the pending
+/// frontier covers at least this fraction of the netlist (3/4), deferring
+/// further moves stops paying — every query would treat nearly the whole
+/// circuit as dirty — so the layer materializes early.
+const PENDING_FRONTIER_NUMER: usize = 3;
+const PENDING_FRONTIER_DENOM: usize = 4;
+
+/// Whether a pending union frontier of `frontier_len` nodes exceeds the
+/// materialization budget for a `num_nodes`-node circuit.
+fn frontier_exceeds_budget(frontier_len: usize, num_nodes: usize) -> bool {
+    frontier_len * PENDING_FRONTIER_DENOM >= num_nodes * PENDING_FRONTIER_NUMER
 }
 
 /// Identity of the circuit a baseline was computed for.
@@ -179,8 +238,26 @@ struct Baseline {
 pub struct IncrementalCop {
     /// Global-cone stateless guard (see [`cone_is_global`]); on by
     /// default, off for tests/ablations that must force the incremental
-    /// path regardless of cone size.
+    /// path regardless of cone size.  Batched mode ignores it: the
+    /// pending overlay *is* the global-cone strategy.
     global_cone_guard: bool,
+    /// Commit batch size `K`: `≤ 1` commits every coordinate move
+    /// immediately (the PR 3 behavior); `≥ 2` defers up to `K` moves in
+    /// the pending overlay before materializing.
+    commit_batch: usize,
+    /// Current effective weight vector: `baseline.weights` plus every
+    /// pending (deferred, not yet materialized) coordinate move.  Equal
+    /// to `baseline.weights` whenever the pending layer is empty — in
+    /// particular always, in unbatched mode.
+    pending_weights: Vec<f64>,
+    /// Deferred moves since the last materialization.
+    pending_count: usize,
+    /// Union of the pending coordinates' fanout cones: the only nodes
+    /// whose baseline values may be stale, i.e. the dirty frontier every
+    /// batched query must overlay.
+    union: ConeUnion,
+    /// Scratch for `union ∪ cone(queried coordinate)`.
+    merged_cone: Vec<NodeId>,
     baseline: Option<Baseline>,
     cones: FanoutCones,
     /// Circuit the cone cache belongs to (the cache outlives baseline
@@ -216,6 +293,11 @@ impl Default for IncrementalCop {
     fn default() -> Self {
         IncrementalCop {
             global_cone_guard: true,
+            commit_batch: 1,
+            pending_weights: Vec::new(),
+            pending_count: 0,
+            union: ConeUnion::new(),
+            merged_cone: Vec::new(),
             baseline: None,
             cones: FanoutCones::new(),
             cone_fingerprint: None,
@@ -250,6 +332,59 @@ impl IncrementalCop {
     pub fn with_global_cone_guard(mut self, enabled: bool) -> Self {
         self.global_cone_guard = enabled;
         self
+    }
+
+    /// Sets the commit batch size `K` of the pending overlay.
+    ///
+    /// `0` and `1` both mean "commit every coordinate move immediately"
+    /// — the exact PR 3 per-move behavior, work pattern included.  With
+    /// `K ≥ 2` the engine defers up to `K` moves in a pending overlay
+    /// (free at move time), answers queries through
+    /// `baseline ∪ pending ∪ query-overlay`, and materializes the layer
+    /// in one shared resolve pass when `K` moves accumulate, the union
+    /// frontier exceeds its budget, or an unmasked
+    /// [`estimate`](DetectionProbabilityEngine::estimate) arrives.
+    /// Results are bit-identical for every `K`.
+    pub fn with_commit_batch(mut self, batch: usize) -> Self {
+        self.commit_batch = batch.max(1);
+        self
+    }
+
+    /// The configured commit batch size (`1` = per-move commits).
+    pub fn commit_batch(&self) -> usize {
+        self.commit_batch
+    }
+
+    /// Whether deferred-commit batching is active.
+    fn batched(&self) -> bool {
+        self.commit_batch > 1
+    }
+
+    /// Number of deferred coordinate moves currently pending.
+    pub fn pending_len(&self) -> usize {
+        self.pending_count
+    }
+
+    /// Size of the pending union frontier (dirty-node count a batched
+    /// query overlays on top of the baseline).
+    pub fn pending_frontier(&self) -> usize {
+        self.union.len()
+    }
+
+    /// Forces materialization of the pending overlay now (no-op when
+    /// nothing is pending).  Queries decide this on their own; the hook
+    /// exists so tests and ablations can place materialization points
+    /// deterministically.
+    pub fn flush_pending(&mut self, circuit: &Circuit) {
+        if self.pending_count > 0 {
+            assert!(
+                self.baseline
+                    .as_ref()
+                    .is_some_and(|b| b.fingerprint == Fingerprint::of(circuit)),
+                "flush_pending needs the circuit the pending moves were recorded for"
+            );
+            self.materialize(circuit);
+        }
     }
 
     /// Work counters accumulated since construction (or the last
@@ -313,6 +448,11 @@ impl IncrementalCop {
         self.epoch = 0;
         self.touched_p.clear();
         self.touched_obs.clear();
+        // A rebuild lands exactly at `weights`: nothing is pending.
+        self.pending_weights.clear();
+        self.pending_weights.extend_from_slice(weights);
+        self.pending_count = 0;
+        self.union.clear();
         self.baseline = Some(Baseline {
             fingerprint,
             weights: weights.to_vec(),
@@ -322,10 +462,12 @@ impl IncrementalCop {
         });
     }
 
-    /// Brings the baseline to exactly `weights`: a no-op when already
-    /// there, a cone-restricted commit when one coordinate moved, a full
-    /// rebuild otherwise (first call, new circuit, or a multi-coordinate
-    /// jump such as a restart from fresh starting weights).
+    /// Brings the engine's effective state (baseline plus pending layer)
+    /// to exactly `weights`: a no-op when already there, a
+    /// cone-restricted commit (unbatched) or a free pending move
+    /// (batched) when one coordinate moved, a full rebuild otherwise
+    /// (first call, new circuit, or a multi-coordinate jump such as a
+    /// restart from fresh starting weights).
     fn ensure_baseline(&mut self, circuit: &Circuit, weights: &[f64]) {
         assert_eq!(
             weights.len(),
@@ -340,9 +482,10 @@ impl IncrementalCop {
             self.rebuild(circuit, weights);
             return;
         }
-        let baseline = self.baseline.as_ref().expect("baseline checked above");
+        // Diff against the *effective* weights (pending included); equal
+        // to the baseline weights whenever nothing is pending.
         let mut diff = None;
-        for (k, (&new, &old)) in weights.iter().zip(&baseline.weights).enumerate() {
+        for (k, (&new, &old)) in weights.iter().zip(&self.pending_weights).enumerate() {
             if new != old {
                 if diff.is_some() {
                     // Two or more coordinates moved: not the optimizer's
@@ -355,6 +498,10 @@ impl IncrementalCop {
         }
         if let Some(coordinate) = diff {
             let value = weights[coordinate];
+            if self.batched() {
+                self.pending_move(circuit, coordinate, value);
+                return;
+            }
             let root = circuit.inputs()[coordinate];
             let cone_len = self.cones.cone(circuit, root).len();
             if self.global_cone_guard && cone_is_global(cone_len, circuit.num_nodes()) {
@@ -369,11 +516,87 @@ impl IncrementalCop {
         }
     }
 
+    /// Defers `x_coordinate := value` into the pending overlay: records
+    /// the delta, absorbs the coordinate's fanout cone into the union
+    /// frontier, and materializes when the batch or the frontier budget
+    /// fills up.  Costs zero node evaluations unless it materializes.
+    fn pending_move(&mut self, circuit: &Circuit, coordinate: usize, value: f64) {
+        self.stats.pending_moves += 1;
+        self.pending_weights[coordinate] = value;
+        let root = circuit.inputs()[coordinate];
+        let cone = self.cones.cone(circuit, root);
+        self.union.absorb(cone);
+        self.pending_count += 1;
+        let frontier = self.union.len();
+        self.stats.union_frontier_peak = self.stats.union_frontier_peak.max(frontier as u64);
+        if self.pending_count >= self.commit_batch
+            || frontier_exceeds_budget(frontier, circuit.num_nodes())
+        {
+            self.materialize(circuit);
+        }
+    }
+
+    /// Resolves the whole pending layer into the baseline with one
+    /// shared pass pair: an eager forward walk over the union frontier
+    /// (sorted ids = topological order) at the pending weights, then one
+    /// backward push-on-change walk seeded from everything the forward
+    /// pass actually dirtied.  `K` deferred moves with heavily
+    /// overlapping dirty regions collapse into a single union-sized
+    /// region here — the amortization the batch exists for.
+    fn materialize(&mut self, circuit: &Circuit) {
+        if self.pending_count == 0 {
+            return;
+        }
+        self.stats.materializations += 1;
+        self.stats.union_frontier_sum += self.union.len() as u64;
+        self.next_epoch();
+        let epoch = self.epoch;
+        let baseline = self.baseline.as_ref().expect("materialize needs a baseline");
+
+        // One shared forward+backward overlay walk over the union
+        // frontier at the pending weights (the same helper the per-move
+        // commit uses over a single cone; the dirty-region induction is
+        // identical with "input i's cone" generalized to the frontier).
+        eager_overlay_walk(
+            circuit,
+            self.union.as_slice(),
+            &|k: usize| self.pending_weights[k],
+            baseline,
+            epoch,
+            &mut self.p_stamp,
+            &mut self.p_scratch,
+            &mut self.obs_stamp,
+            &mut self.obs_scratch,
+            &mut self.pin_scratch,
+            &mut self.queue_stamp,
+            &mut self.touched_p,
+            &mut self.touched_obs,
+            &mut self.stats,
+        );
+
+        // Fold the overlay into the baseline and retire the layer.
+        let baseline = self.baseline.as_mut().expect("materialize needs a baseline");
+        baseline.weights.copy_from_slice(&self.pending_weights);
+        self.fold_overlay_into_baseline();
+        self.union.clear();
+        self.pending_count = 0;
+    }
+
     /// Writes the current overlay into the baseline, moving the baseline
     /// weight vector to the perturbed point.
     fn commit(&mut self, coordinate: usize, value: f64) {
         let baseline = self.baseline.as_mut().expect("commit needs a baseline");
         baseline.weights[coordinate] = value;
+        self.pending_weights[coordinate] = value;
+        self.fold_overlay_into_baseline();
+    }
+
+    /// Copies every epoch-touched overlay value (probabilities,
+    /// observabilities, pin observabilities) into the baseline — the
+    /// value half of a commit, shared by the per-move and materializing
+    /// paths; callers update the baseline weight vector themselves.
+    fn fold_overlay_into_baseline(&mut self) {
+        let baseline = self.baseline.as_mut().expect("fold needs a baseline");
         for &id in &self.touched_p {
             baseline.p[id.index()] = self.p_scratch[id.index()];
         }
@@ -398,80 +621,32 @@ impl IncrementalCop {
         }
         self.stats.perturbations += 1;
 
-        // Forward: recompute input i's fanout cone in topological order.
+        // Forward over input i's fanout cone, then the backward
+        // push-on-change walk, through the shared eager helper.
         let cone = self.cones.cone(circuit, root);
         let baseline = self.baseline.as_ref().expect("perturb needs a baseline");
-        for &id in cone {
-            let idx = id.index();
-            let node = circuit.node(id);
-            let new_p = node_probability(
-                circuit,
-                id,
-                node,
-                &|k: usize| {
-                    if k == coordinate {
-                        value
-                    } else {
-                        baseline.weights[k]
-                    }
-                },
-                &|f: NodeId| {
-                    if self.p_stamp[f.index()] == epoch {
-                        self.p_scratch[f.index()]
-                    } else {
-                        baseline.p[f.index()]
-                    }
-                },
-            );
-            self.stats.node_evaluations += 1;
-            self.stats.forward_evaluations += 1;
-            // Prune: an unchanged value dirties nothing downstream.
-            if new_p != baseline.p[idx] {
-                self.p_scratch[idx] = new_p;
-                self.p_stamp[idx] = epoch;
-                self.touched_p.push(id);
-            }
-        }
-
-        // Backward: recompute observabilities for every node that can see
-        // the change.  Seeds are the nodes whose pin sensitization reacts
-        // to a probability-dirty fanin — only the AND/OR families with two
-        // or more pins have sibling-dependent sensitization; XOR, XNOR,
-        // NOT and BUF pins sensitize unconditionally, so those sinks need
-        // recomputation only when their *own* stem observability moves,
-        // which the push-on-change propagation covers.  Propagation pushes
-        // a fanin only when a recomputed pin observability actually moved.
-        // Descending-id processing is the full pass's reverse-topological
-        // order, so every sink is settled before its drivers read it.
-        let mut heap: BinaryHeap<usize> = BinaryHeap::new();
-        for &dirty in &self.touched_p {
-            for &sink in circuit.fanout(dirty) {
-                let s = sink.index();
-                if sens_reacts(circuit.node(sink)) && self.queue_stamp[s] != epoch {
-                    self.queue_stamp[s] = epoch;
-                    heap.push(s);
+        eager_overlay_walk(
+            circuit,
+            cone,
+            &|k: usize| {
+                if k == coordinate {
+                    value
+                } else {
+                    baseline.weights[k]
                 }
-            }
-        }
-        while let Some(idx) = heap.pop() {
-            recompute_obs_node(
-                circuit,
-                baseline,
-                epoch,
-                idx,
-                None,
-                None,
-                &mut self.p_stamp,
-                &mut self.p_scratch,
-                &mut self.obs_stamp,
-                &mut self.obs_scratch,
-                &mut self.pin_scratch,
-                &mut self.queue_stamp,
-                &mut heap,
-                &mut self.touched_obs,
-                &mut self.stats,
-            );
-        }
+            },
+            baseline,
+            epoch,
+            &mut self.p_stamp,
+            &mut self.p_scratch,
+            &mut self.obs_stamp,
+            &mut self.obs_scratch,
+            &mut self.pin_scratch,
+            &mut self.queue_stamp,
+            &mut self.touched_p,
+            &mut self.touched_obs,
+            &mut self.stats,
+        );
     }
 
     /// Query-restricted perturbation: like [`perturb`](Self::perturb) but
@@ -488,6 +663,16 @@ impl IncrementalCop {
     ///   set is unknown; a seed whose inputs turn out unchanged recomputes
     ///   its baseline values and pushes nothing).
     ///
+    /// With pending moves outstanding (batched mode), the dirty cone is
+    /// the pending union frontier merged with the queried coordinate's
+    /// cone, and the perturbed weight vector is the pending one with the
+    /// query coordinate overridden — so one epoch overlay carries the
+    /// deferred deltas *and* the hypothetical boundary move, against the
+    /// unmodified baseline.  The same closure/induction arguments apply
+    /// with "input *i*'s cone" replaced by the merged frontier (a union
+    /// of fanout closures is itself closed under fanout, and only merged
+    /// nodes can hold non-baseline probabilities).
+    ///
     /// Values the query reads are still bit-identical to a full
     /// recompute's; the caller must invoke
     /// [`refresh_query_mask`](Self::refresh_query_mask) for `faults`
@@ -503,24 +688,31 @@ impl IncrementalCop {
         let epoch = self.epoch;
         let root = circuit.inputs()[coordinate];
         let baseline = self.baseline.as_ref().expect("perturb needs a baseline");
-        if baseline.weights[coordinate] == value {
+        if self.pending_count == 0 && baseline.weights[coordinate] == value {
             return; // identity perturbation: the baseline answers as-is
         }
         self.stats.perturbations += 1;
-        let cone = self.cones.cone(circuit, root);
+        // The merged (union ∪ cone) frontier is prepared once per query
+        // pair by `refresh_merged_cone`; both boundary-point overlays of
+        // the pair read the same merged view.
+        let cone: &[NodeId] = if self.pending_count > 0 {
+            &self.merged_cone
+        } else {
+            self.cones.cone(circuit, root)
+        };
         let baseline = self.baseline.as_ref().expect("perturb needs a baseline");
 
         // Backward walk over the (conservative) dirty region inside the
-        // query mask, in descending node order as always.  Every non-root
-        // cone node has a cone fanin, so the sensitization-reactive cone
-        // gates are exactly the candidates whose pin observabilities can
-        // move without their stem moving first.
+        // query mask, in descending node order as always.  Every cone
+        // node that is not a primary input has a cone fanin, so the
+        // sensitization-reactive cone gates are exactly the candidates
+        // whose pin observabilities can move without their stem moving
+        // first (primary inputs have no pins and never react).
         let mut heap: BinaryHeap<usize> = BinaryHeap::new();
         let query_token = self.query_token;
         for &id in cone {
             let s = id.index();
-            if id != root
-                && self.query_stamp[s] == query_token
+            if self.query_stamp[s] == query_token
                 && sens_reacts(circuit.node(id))
                 && self.queue_stamp[s] != epoch
             {
@@ -534,7 +726,7 @@ impl IncrementalCop {
                 baseline,
                 epoch,
                 idx,
-                Some((cone, coordinate, value)),
+                Some((cone, &self.pending_weights, coordinate, value)),
                 Some((&self.query_stamp, query_token)),
                 &mut self.p_stamp,
                 &mut self.p_scratch,
@@ -557,6 +749,7 @@ impl IncrementalCop {
             lazy_probability(
                 circuit,
                 cone,
+                &self.pending_weights,
                 coordinate,
                 value,
                 baseline,
@@ -566,6 +759,20 @@ impl IncrementalCop {
                 &mut self.stats,
                 activation,
             );
+        }
+    }
+
+    /// Prepares the effective dirty cone for a batched query pair:
+    /// `pending union frontier ∪ cone(root)` into the merged scratch.
+    /// Called once per [`estimate_coordinate_pair`] invocation (after
+    /// `ensure_baseline`, whose materialization may have just emptied
+    /// the pending layer), so both boundary-point overlays share one
+    /// merge.  A no-op when nothing is pending — `perturb_query` then
+    /// reads the plain cached cone.
+    fn refresh_merged_cone(&mut self, circuit: &Circuit, root: NodeId) {
+        if self.pending_count > 0 {
+            let cone = self.cones.cone(circuit, root);
+            self.union.merged_with(cone, &mut self.merged_cone);
         }
     }
 
@@ -681,17 +888,105 @@ fn sens_reacts(node: &wrt_circuit::Node) -> bool {
     ) && node.fanin().len() >= 2
 }
 
+/// The committing overlay walk, shared by the per-move perturbation
+/// (`nodes` = one input's fanout cone) and the pending materialization
+/// (`nodes` = the union frontier): one eager forward pass over `nodes`
+/// in topological order at the weights given by `input_prob`, pruning
+/// values that land exactly on the baseline, then one backward
+/// push-on-change walk.
+///
+/// Backward seeds are the nodes whose pin sensitization reacts to a
+/// probability-dirty fanin — only the AND/OR families with two or more
+/// pins have sibling-dependent sensitization; XOR, XNOR, NOT and BUF
+/// pins sensitize unconditionally, so those sinks need recomputation
+/// only when their *own* stem observability moves, which the
+/// push-on-change propagation covers.  Propagation pushes a fanin only
+/// when a recomputed pin observability actually moved.  Descending-id
+/// processing is the full pass's reverse-topological order, so every
+/// sink is settled before its drivers read it.
+#[allow(clippy::too_many_arguments)]
+fn eager_overlay_walk(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    input_prob: &dyn Fn(usize) -> f64,
+    baseline: &Baseline,
+    epoch: u32,
+    p_stamp: &mut [u32],
+    p_scratch: &mut [f64],
+    obs_stamp: &mut [u32],
+    obs_scratch: &mut [f64],
+    pin_scratch: &mut [Vec<f64>],
+    queue_stamp: &mut [u32],
+    touched_p: &mut Vec<NodeId>,
+    touched_obs: &mut Vec<NodeId>,
+    stats: &mut IncrementalStats,
+) {
+    for &id in nodes {
+        let idx = id.index();
+        let node = circuit.node(id);
+        let new_p = node_probability(circuit, id, node, &input_prob, &|f: NodeId| {
+            if p_stamp[f.index()] == epoch {
+                p_scratch[f.index()]
+            } else {
+                baseline.p[f.index()]
+            }
+        });
+        stats.node_evaluations += 1;
+        stats.forward_evaluations += 1;
+        // Prune: an unchanged value dirties nothing downstream.
+        if new_p != baseline.p[idx] {
+            p_scratch[idx] = new_p;
+            p_stamp[idx] = epoch;
+            touched_p.push(id);
+        }
+    }
+
+    let mut heap: BinaryHeap<usize> = BinaryHeap::new();
+    for &dirty in touched_p.iter() {
+        for &sink in circuit.fanout(dirty) {
+            let s = sink.index();
+            if sens_reacts(circuit.node(sink)) && queue_stamp[s] != epoch {
+                queue_stamp[s] = epoch;
+                heap.push(s);
+            }
+        }
+    }
+    while let Some(idx) = heap.pop() {
+        recompute_obs_node(
+            circuit,
+            baseline,
+            epoch,
+            idx,
+            None,
+            None,
+            p_stamp,
+            p_scratch,
+            obs_stamp,
+            obs_scratch,
+            pin_scratch,
+            queue_stamp,
+            &mut heap,
+            touched_obs,
+            stats,
+        );
+    }
+}
+
 /// Demand-driven perturbed signal probability.
 ///
-/// Nodes outside `cone` cannot depend on the perturbed input and read the
-/// baseline directly; cone nodes are recomputed (memoized per epoch via
-/// `p_stamp`) from their fanins with an explicit post-order stack, through
-/// the same [`node_probability`] helper as the full pass — so every forced
-/// value is bit-identical to what an eager cone walk would produce.
+/// Nodes outside `cone` cannot depend on any perturbed input (queried or
+/// pending) and read the baseline directly; cone nodes are recomputed
+/// (memoized per epoch via `p_stamp`) from their fanins with an explicit
+/// post-order stack, through the same [`node_probability`] helper as the
+/// full pass — so every forced value is bit-identical to what an eager
+/// cone walk would produce.  `weights` is the effective weight vector
+/// (pending moves applied) with coordinate `coordinate` overridden to
+/// `value`; in unbatched mode it is the baseline vector itself.
 #[allow(clippy::too_many_arguments)]
 fn lazy_probability(
     circuit: &Circuit,
     cone: &[NodeId],
+    weights: &[f64],
     coordinate: usize,
     value: f64,
     baseline: &Baseline,
@@ -723,7 +1018,7 @@ fn lazy_probability(
                     if k == coordinate {
                         value
                     } else {
-                        baseline.weights[k]
+                        weights[k]
                     }
                 },
                 &|f: NodeId| {
@@ -758,7 +1053,8 @@ fn lazy_probability(
 /// Recomputes node `idx`'s stem observability and pin observabilities
 /// from overlay-or-baseline values, stores them in the overlay, and
 /// pushes the fanin of every pin whose value moved.  `lazy_force`
-/// carries the query-mode cone context: when set, the fanin
+/// carries the query-mode cone context (dirty cone, effective weights,
+/// queried coordinate, override value): when set, the fanin
 /// probabilities a sensitization-reactive gate reads are forced through
 /// [`lazy_probability`] first (gates with constant sensitization never
 /// read them, so they skip the forcing).  `query_gate` restricts pushes
@@ -769,7 +1065,7 @@ fn recompute_obs_node(
     baseline: &Baseline,
     epoch: u32,
     idx: usize,
-    lazy_force: Option<(&[NodeId], usize, f64)>,
+    lazy_force: Option<(&[NodeId], &[f64], usize, f64)>,
     query_gate: Option<(&[u32], u32)>,
     p_stamp: &mut [u32],
     p_scratch: &mut [f64],
@@ -792,14 +1088,14 @@ fn recompute_obs_node(
     stats.node_evaluations += 1;
     stats.backward_evaluations += 1;
     let node = circuit.node(id);
-    if let Some((cone, coordinate, value)) = lazy_force {
+    if let Some((cone, weights, coordinate, value)) = lazy_force {
         if sens_reacts(node) {
             // Force the perturbed probabilities the sensitization
             // products read; constant-sensitization gates read none.
             for &f in node.fanin() {
                 lazy_probability(
-                    circuit, cone, coordinate, value, baseline, epoch, p_stamp, p_scratch,
-                    stats, f,
+                    circuit, cone, weights, coordinate, value, baseline, epoch, p_stamp,
+                    p_scratch, stats, f,
                 );
             }
         }
@@ -838,6 +1134,11 @@ impl DetectionProbabilityEngine for IncrementalCop {
         input_probs: &[f64],
     ) -> Vec<f64> {
         self.ensure_baseline(circuit, input_probs);
+        // An unmasked (ANALYSIS-style) query reads observabilities the
+        // mask-clipped pending machinery never touches: resolve the
+        // pending layer first.  This is the natural amortized
+        // materialization point — once per optimizer sweep.
+        self.materialize(circuit);
         // Invalidate any leftover perturbation overlay so the lookups
         // read the (now current) baseline.
         self.next_epoch();
@@ -845,7 +1146,9 @@ impl DetectionProbabilityEngine for IncrementalCop {
     }
 
     /// The incremental hot path: both boundary points of coordinate *i*
-    /// via cone-restricted overlays over the baseline at `weights`.
+    /// via cone-restricted overlays over the baseline at `weights` —
+    /// merged with the pending union frontier when deferred moves are
+    /// outstanding (batched mode).
     fn estimate_coordinate_pair(
         &mut self,
         circuit: &Circuit,
@@ -859,23 +1162,30 @@ impl DetectionProbabilityEngine for IncrementalCop {
             weights.len()
         );
         self.sync_cones(circuit);
-        let root = circuit.inputs()[coordinate];
-        let cone_len = self.cones.cone(circuit, root).len();
-        if self.global_cone_guard && cone_is_global(cone_len, circuit.num_nodes()) {
-            // Global-cone guard: answer statelessly with two full passes
-            // per point, leaving the (possibly stale) baseline untouched
-            // — the next cone-local query reconciles it in one rebuild.
-            let mut perturbed = weights.to_vec();
-            perturbed[coordinate] = 0.0;
-            let at_zero = self.stateless_estimate(circuit, faults, &perturbed);
-            perturbed[coordinate] = 1.0;
-            let at_one = self.stateless_estimate(circuit, faults, &perturbed);
-            return (at_zero, at_one);
+        if !self.batched() {
+            let root = circuit.inputs()[coordinate];
+            let cone_len = self.cones.cone(circuit, root).len();
+            if self.global_cone_guard && cone_is_global(cone_len, circuit.num_nodes()) {
+                // Global-cone guard (per-move mode only): answer
+                // statelessly with two full passes per point, leaving the
+                // (possibly stale) baseline untouched — the next
+                // cone-local query reconciles it in one rebuild.  Batched
+                // mode instead answers through the pending overlay, whose
+                // mask-clipped walks beat full passes even on global
+                // cones.
+                let mut perturbed = weights.to_vec();
+                perturbed[coordinate] = 0.0;
+                let at_zero = self.stateless_estimate(circuit, faults, &perturbed);
+                perturbed[coordinate] = 1.0;
+                let at_one = self.stateless_estimate(circuit, faults, &perturbed);
+                return (at_zero, at_one);
+            }
         }
         self.ensure_baseline(circuit, weights);
         // These perturbations are never committed, so both directions can
         // be restricted to what the queries read: probabilities on
         // demand, observabilities inside the sites' fanout closure.
+        self.refresh_merged_cone(circuit, circuit.inputs()[coordinate]);
         self.refresh_query_mask(circuit, faults);
         self.perturb_query(circuit, coordinate, 0.0, faults);
         let at_zero = self.fault_probabilities(circuit, faults);
@@ -1037,6 +1347,176 @@ mod tests {
         let expected = CopEngine::new().estimate(&c2, &f2, &[0.3, 0.8]);
         assert_eq!(bits(&got), bits(&expected));
         assert_eq!(inc.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn batched_walk_is_bit_identical_and_defers_commits() {
+        // The optimizer walk again, but against the pending-overlay
+        // engine: moves must be deferred (zero evaluations at move time)
+        // and every answer must stay bit-identical to the full engine.
+        let c = reconvergent();
+        let faults = FaultList::checkpoints(&c);
+        for batch in [2, 3, 8] {
+            let mut inc = IncrementalCop::new().with_commit_batch(batch);
+            let mut full = CopEngine::new();
+            let mut w = [0.5, 0.5, 0.5];
+            let moves = [0.7, 0.2, 0.9, 0.4, 0.55, 0.1];
+            for (step, &next) in moves.iter().enumerate() {
+                let i = step % 3;
+                let got = inc.estimate_coordinate_pair(&c, &faults, &w, i);
+                let expected = full.estimate_coordinate_pair(&c, &faults, &w, i);
+                assert_eq!(
+                    (bits(&got.0), bits(&got.1)),
+                    (bits(&expected.0), bits(&expected.1)),
+                    "batch {batch}, step {step}"
+                );
+                w[i] = next;
+            }
+            let final_got = inc.estimate(&c, &faults, &w);
+            let final_expected = full.estimate(&c, &faults, &w);
+            assert_eq!(bits(&final_got), bits(&final_expected), "batch {batch}");
+            let stats = inc.stats();
+            assert_eq!(stats.incremental_commits, 0, "batched mode never per-move commits");
+            assert_eq!(stats.pending_moves as usize, moves.len());
+            assert!(stats.materializations >= 1);
+            assert!(stats.union_frontier_peak >= 1);
+            // Everything resolved: the final estimate materialized.
+            assert_eq!(inc.pending_len(), 0);
+        }
+    }
+
+    #[test]
+    fn commit_batch_of_zero_or_one_is_exact_per_move_mode() {
+        // `--commit-batch 0|1` must degrade to the PR 3 engine, work
+        // pattern included: identical stats, identical answers.
+        let c = reconvergent();
+        let faults = FaultList::checkpoints(&c);
+        let mut reference = IncrementalCop::new();
+        let mut zero = IncrementalCop::new().with_commit_batch(0);
+        let mut one = IncrementalCop::new().with_commit_batch(1);
+        assert_eq!(zero.commit_batch(), 1);
+        assert_eq!(one.commit_batch(), 1);
+        let mut w = [0.4, 0.6, 0.5];
+        for step in 0..5 {
+            let i = step % 3;
+            let want = reference.estimate_coordinate_pair(&c, &faults, &w, i);
+            for eng in [&mut zero, &mut one] {
+                let got = eng.estimate_coordinate_pair(&c, &faults, &w, i);
+                assert_eq!((bits(&got.0), bits(&got.1)), (bits(&want.0), bits(&want.1)));
+            }
+            w[i] = 0.1 + 0.15 * step as f64;
+        }
+        assert_eq!(zero.stats(), reference.stats());
+        assert_eq!(one.stats(), reference.stats());
+        assert_eq!(reference.stats().pending_moves, 0);
+        assert_eq!(reference.stats().materializations, 0);
+    }
+
+    #[test]
+    fn flush_pending_forces_a_materialization_point() {
+        // Disjoint trees: input cones are small, so neither the batch
+        // size nor the frontier budget triggers on its own.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+             y = AND(a, b)\nm = OR(c, d)\nn = XOR(c, m)\nz = NAND(m, n)\n",
+        )
+        .unwrap();
+        let faults = FaultList::checkpoints(&c);
+        let mut inc = IncrementalCop::new().with_commit_batch(64);
+        let mut w = [0.5, 0.5, 0.5, 0.5];
+        let _ = inc.estimate(&c, &faults, &w);
+        w[1] = 0.8;
+        let _ = inc.estimate_coordinate_pair(&c, &faults, &w, 0);
+        assert_eq!(inc.pending_len(), 1);
+        assert!(inc.pending_frontier() > 0);
+        inc.flush_pending(&c);
+        assert_eq!(inc.pending_len(), 0);
+        assert_eq!(inc.pending_frontier(), 0);
+        assert_eq!(inc.stats().materializations, 1);
+        // Still bit-identical after the forced point.
+        let got = inc.estimate_coordinate_pair(&c, &faults, &w, 3);
+        let expected = CopEngine::new().estimate_coordinate_pair(&c, &faults, &w, 3);
+        assert_eq!(bits(&got.0), bits(&expected.0));
+        assert_eq!(bits(&got.1), bits(&expected.1));
+        // Flushing with nothing pending is a no-op.
+        inc.flush_pending(&c);
+        assert_eq!(inc.stats().materializations, 1);
+    }
+
+    #[test]
+    fn frontier_budget_materializes_early() {
+        // A chain circuit where every input's cone reaches the output:
+        // two pending moves already push the union frontier over the
+        // 3/4 budget, so a huge batch K still materializes early.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+             m = AND(a, b)\nn = OR(m, c)\ny = XOR(n, a)\n",
+        )
+        .unwrap();
+        let faults = FaultList::checkpoints(&c);
+        let mut inc = IncrementalCop::new().with_commit_batch(1000);
+        let mut w = [0.5, 0.5, 0.5];
+        let _ = inc.estimate(&c, &faults, &w);
+        for step in 0..4 {
+            let i = step % 3;
+            let _ = inc.estimate_coordinate_pair(&c, &faults, &w, i);
+            w[i] = 0.3 + 0.1 * step as f64;
+        }
+        let stats = inc.stats();
+        assert!(
+            stats.materializations >= 1,
+            "frontier budget must trigger: {stats:?}"
+        );
+        assert!(stats.union_frontier_sum >= stats.materializations);
+    }
+
+    #[test]
+    fn batched_global_cones_avoid_stateless_passes() {
+        // Wide AND: every input's cone is global (the whole circuit).
+        // The per-move engine answers statelessly; the batched engine
+        // must answer through the pending overlay instead — and still
+        // bit-identically.
+        let mut src = String::from("OUTPUT(y)\n");
+        let mut args = Vec::new();
+        for i in 0..6 {
+            src.push_str(&format!("INPUT(x{i})\n"));
+            args.push(format!("x{i}"));
+        }
+        src.push_str(&format!("y = AND({})\n", args.join(", ")));
+        let c = parse_bench(&src).unwrap();
+        let faults = FaultList::checkpoints(&c);
+        let mut batched = IncrementalCop::new().with_commit_batch(4);
+        let mut full = CopEngine::new();
+        let mut w = [0.5; 6];
+        for step in 0..8 {
+            let i = step % 6;
+            let got = batched.estimate_coordinate_pair(&c, &faults, &w, i);
+            let expected = full.estimate_coordinate_pair(&c, &faults, &w, i);
+            assert_eq!(bits(&got.0), bits(&expected.0), "step {step}");
+            assert_eq!(bits(&got.1), bits(&expected.1), "step {step}");
+            w[i] = 0.6 + 0.04 * i as f64;
+        }
+        assert_eq!(batched.stats().stateless_estimates, 0);
+        assert!(batched.stats().pending_moves > 0);
+    }
+
+    #[test]
+    fn batched_circuit_switch_resets_the_pending_layer() {
+        let c1 = reconvergent();
+        let c2 = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n").unwrap();
+        let f1 = FaultList::checkpoints(&c1);
+        let f2 = FaultList::checkpoints(&c2);
+        let mut inc = IncrementalCop::new().with_commit_batch(16);
+        let mut w1 = [0.5; 3];
+        let _ = inc.estimate(&c1, &f1, &w1);
+        w1[0] = 0.7;
+        let _ = inc.estimate_coordinate_pair(&c1, &f1, &w1, 1);
+        assert_eq!(inc.pending_len(), 1);
+        // Switch circuits with moves still pending: must rebuild cleanly.
+        let got = inc.estimate(&c2, &f2, &[0.3, 0.8]);
+        let expected = CopEngine::new().estimate(&c2, &f2, &[0.3, 0.8]);
+        assert_eq!(bits(&got), bits(&expected));
+        assert_eq!(inc.pending_len(), 0);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * [`IncrementalCop`] — the same model with an incremental,
 //!   cone-restricted evaluation strategy (bit-identical estimates) that
 //!   answers the optimizer's single-coordinate PREPARE queries in
-//!   O(fanout cone) instead of O(circuit);
+//!   O(fanout cone) instead of O(circuit); its batched pending-overlay
+//!   mode ([`IncrementalCop::with_commit_batch`]) additionally defers
+//!   coordinate commits and resolves them in shared materialization
+//!   passes, which is what keeps wide- and global-cone circuits fast;
 //! * [`StafanEngine`] — STAFAN-style statistical counting on a fault-free
 //!   bit-parallel sample \[AgJa84\];
 //! * [`MonteCarloEngine`] — direct PPSFP fault-simulation sampling;

@@ -32,16 +32,23 @@ impl StafanCounts {
     /// Simulates `num_patterns` patterns from `source` and accumulates all
     /// counts.
     ///
+    /// `num_patterns == 0` is a defined degenerate case: no block is
+    /// drawn and every counted rate — controllabilities, sensitizations,
+    /// and therefore all detection probabilities — is exactly `0.0`
+    /// ("no evidence"), never NaN.  The rate accessors divide through
+    /// [`counted_rate`], which guards the zero-sample division that used
+    /// to produce `0/0 = NaN` here and let `clamp` silently forward it.
+    ///
     /// # Panics
     ///
-    /// Panics if the source width does not match the circuit or if
-    /// `num_patterns == 0`.
+    /// Panics if the source width does not match the circuit, or if the
+    /// source returns an empty block (a `PatternSource` contract
+    /// violation that would otherwise loop forever).
     pub fn count(
         circuit: &Circuit,
         source: &mut dyn PatternSource,
         num_patterns: u64,
     ) -> Self {
-        assert!(num_patterns > 0, "need at least one pattern");
         assert_eq!(source.num_inputs(), circuit.num_inputs());
         let n = circuit.num_nodes();
         let mut ones = vec![0u64; n];
@@ -54,6 +61,7 @@ impl StafanCounts {
         while done < num_patterns {
             let limit = (num_patterns - done).min(64) as u32;
             let block = source.next_block(limit);
+            assert!(block.len > 0, "pattern source returned an empty block");
             let mask = block.mask();
             sim.run(&block.words);
             for (id, node) in circuit.iter() {
@@ -73,7 +81,6 @@ impl StafanCounts {
             .iter()
             .map(|(_, node)| vec![0.0; node.fanin().len()])
             .collect();
-        let total = num_patterns as f64;
         for idx in (0..n).rev() {
             let id = NodeId::from_index(idx);
             let mut miss = 1.0f64;
@@ -93,7 +100,7 @@ impl StafanCounts {
             observability[idx] = if any { 1.0 - miss } else { 0.0 };
             let o = observability[idx];
             for (pin, &count) in sensitized[idx].iter().enumerate() {
-                pin_observability[idx][pin] = o * (count as f64 / total);
+                pin_observability[idx][pin] = o * counted_rate(count, num_patterns);
             }
         }
 
@@ -106,9 +113,15 @@ impl StafanCounts {
         }
     }
 
-    /// 1-controllability: counted fraction of patterns with the node at 1.
+    /// Number of patterns the counts were taken over.
+    pub fn num_patterns(&self) -> u64 {
+        self.num_patterns
+    }
+
+    /// 1-controllability: counted fraction of patterns with the node at 1
+    /// (`0.0` over an empty sample).
     pub fn controllability1(&self, id: NodeId) -> f64 {
-        self.ones[id.index()] as f64 / self.num_patterns as f64
+        counted_rate(self.ones[id.index()], self.num_patterns)
     }
 
     /// Estimated observability of a node's output stem.
@@ -116,13 +129,19 @@ impl StafanCounts {
         self.observability[id.index()]
     }
 
-    /// Counted one-level sensitization rate of a gate input pin.
+    /// Counted one-level sensitization rate of a gate input pin (`0.0`
+    /// over an empty sample).
     pub fn sensitization(&self, gate: NodeId, pin: usize) -> f64 {
-        self.sensitized[gate.index()][pin] as f64 / self.num_patterns as f64
+        counted_rate(self.sensitized[gate.index()][pin], self.num_patterns)
     }
 
     /// Detection-probability estimate for one fault:
     /// `P(line at the opposite value) × observability(line)`.
+    ///
+    /// NaN-free by construction: both factors come from
+    /// [`counted_rate`]-guarded divisions and `1 − Π(1 − ·)` folds over
+    /// them, so they are always finite values in `[0, 1]` and the clamp
+    /// below never sees (and thus never silently forwards) a NaN.
     pub fn detection_probability(&self, circuit: &Circuit, fault: Fault) -> f64 {
         let (act, obs) = match fault.site {
             FaultSite::Output(node) => {
@@ -146,6 +165,23 @@ impl StafanCounts {
             .iter()
             .map(|(_, f)| self.detection_probability(circuit, f))
             .collect()
+    }
+}
+
+/// A counted fraction `count / num_patterns`, defined as `0.0` over an
+/// empty sample.
+///
+/// This is the single place STAFAN rates are divided out; routing
+/// `controllability1`, `sensitization` and the reverse observability
+/// pass through it makes every downstream estimate NaN-free by
+/// construction (the old raw divisions produced `0/0 = NaN` for
+/// zero-pattern counts, which `clamp(0.0, 1.0)` then forwarded
+/// unchanged — `f64::clamp` keeps NaN).
+fn counted_rate(count: u64, num_patterns: u64) -> f64 {
+    if num_patterns == 0 {
+        0.0
+    } else {
+        count as f64 / num_patterns as f64
     }
 }
 
@@ -225,5 +261,70 @@ mod tests {
         let counts = StafanCounts::count(&c, &mut src, 64);
         assert_eq!(counts.observability(c.node_id("y").unwrap()), 1.0);
         assert_eq!(counts.observability(c.node_id("a").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn zero_pattern_counts_are_defined_and_nan_free() {
+        // Regression: counting over zero blocks used to divide 0/0 into
+        // NaN controllabilities/sensitizations, which clamp() silently
+        // forwarded into the detection estimates.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(d)\nOUTPUT(y)\nm = NAND(a, b)\ny = OR(m, d)\n",
+        )
+        .unwrap();
+        let mut src = WeightedPatterns::equiprobable(3, 5);
+        let counts = StafanCounts::count(&c, &mut src, 0);
+        assert_eq!(counts.num_patterns(), 0);
+        for (id, node) in c.iter() {
+            let c1 = counts.controllability1(id);
+            assert_eq!(c1, 0.0, "controllability of {} must be 0, not NaN", id.index());
+            for pin in 0..node.fanin().len() {
+                let s = counts.sensitization(id, pin);
+                assert_eq!(s, 0.0, "sensitization must be 0, not NaN");
+            }
+            assert!(counts.observability(id).is_finite());
+        }
+        for (_, fault) in wrt_fault::FaultList::full(&c).iter() {
+            let p = counts.detection_probability(&c, fault);
+            // Zero-controllability lines make s-a-1 activations exactly
+            // 1 and s-a-0 activations exactly 0; either way the estimate
+            // is a defined value in [0, 1], never NaN.
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "{}: estimate must be a defined probability, got {p}",
+                fault.describe(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn stafan_engine_with_zero_patterns_is_defined() {
+        use crate::{DetectionProbabilityEngine, StafanEngine};
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let faults = wrt_fault::FaultList::full(&c);
+        let est = StafanEngine::new(0, 7).estimate(&c, &faults, &[0.5, 0.5]);
+        assert!(est.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn never_toggling_node_rates_stay_finite() {
+        // Input `a` pinned to probability 0.0 never toggles: its
+        // controllability is exactly 0 and everything derived from it
+        // (including the s-a-0 estimate, activation 0) stays finite.
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let mut src = WeightedPatterns::new(vec![0.0, 0.5], 9);
+        let counts = StafanCounts::count(&c, &mut src, 64 * 8);
+        let a = c.node_id("a").unwrap();
+        let y = c.node_id("y").unwrap();
+        assert_eq!(counts.controllability1(a), 0.0);
+        assert_eq!(counts.controllability1(y), 0.0);
+        for (_, fault) in wrt_fault::FaultList::full(&c).iter() {
+            let p = counts.detection_probability(&c, fault);
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "{}: p = {p}",
+                fault.describe(&c)
+            );
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! Property test: [`IncrementalCop`] is bit-identical to the full
 //! recompute [`CopEngine`] across random circuits, random weight vectors
 //! (including the 0.0/1.0 boundary points PREPARE uses), and random
-//! sequences of single-coordinate perturbations and commits.
+//! sequences of single-coordinate perturbations and commits — in every
+//! engine mode: per-move commits (guard on and off) and the batched
+//! pending overlay with randomized batch sizes and forced
+//! materialization points.
 
 use proptest::prelude::*;
 use wrt_circuit::{Circuit, CircuitBuilder, GateKind};
@@ -72,15 +75,23 @@ proptest! {
         circuit in arb_circuit(),
         start in proptest::collection::vec(arb_weight(), NUM_INPUTS),
         walk in proptest::collection::vec((0usize..NUM_INPUTS, arb_weight()), 1..12),
+        batch in 2usize..9,
+        flush_mask in 0u32..256,
     ) {
         let faults = FaultList::full(&circuit);
         let mut full = CopEngine::new();
-        // Both engine modes must agree with the reference: the default
-        // (global-cone guard on, so small dense circuits mostly take the
-        // stateless path) and the forced incremental overlay path.
+        // Every engine mode must agree with the reference: the default
+        // per-move mode (global-cone guard on, so small dense circuits
+        // mostly take the stateless path), the forced incremental
+        // overlay path, and two batched pending-overlay configurations —
+        // a randomized batch size and a batch larger than the whole walk
+        // (materialization then happens only at frontier-budget or
+        // ANALYSIS points, or where `flush_mask` forces one).
         let mut engines = [
             IncrementalCop::new(),
             IncrementalCop::new().with_global_cone_guard(false),
+            IncrementalCop::new().with_commit_batch(batch),
+            IncrementalCop::new().with_commit_batch(64),
         ];
         let mut weights = start;
 
@@ -92,9 +103,10 @@ proptest! {
         }
 
         // A simulated optimizer walk: PREPARE both boundary points of a
-        // coordinate, then move that coordinate (the incremental engine
-        // commits a cone-restricted baseline update).
-        for (coordinate, next_value) in walk {
+        // coordinate, then move that coordinate (the per-move engines
+        // commit a cone-restricted baseline update; the batched engines
+        // defer the move into the pending overlay).
+        for (step, (coordinate, next_value)) in walk.into_iter().enumerate() {
             let (f0, f1) = full.estimate_coordinate_pair(&circuit, &faults, &weights, coordinate);
             for incremental in engines.iter_mut() {
                 let (i0, i1) = incremental
@@ -103,13 +115,21 @@ proptest! {
                 prop_assert_eq!(bits(&i1), bits(&f1), "coordinate {} at 1", coordinate);
             }
             weights[coordinate] = next_value;
+            // Forced materialization points: resolve the large-batch
+            // engine's pending layer at walk steps picked by the mask.
+            if flush_mask & (1 << (step % 8)) != 0 {
+                engines[3].flush_pending(&circuit);
+                prop_assert_eq!(engines[3].pending_len(), 0);
+            }
         }
 
-        // Final ANALYSIS-style full query at the walked-to vector.
+        // Final ANALYSIS-style full query at the walked-to vector
+        // (materializes whatever is still pending in the batched engines).
         let reference = full.estimate(&circuit, &faults, &weights);
         for incremental in engines.iter_mut() {
             let inc = incremental.estimate(&circuit, &faults, &weights);
             prop_assert_eq!(bits(&inc), bits(&reference));
+            prop_assert_eq!(incremental.pending_len(), 0);
         }
 
         // The guard-off engine must have gone through the incremental
@@ -117,5 +137,9 @@ proptest! {
         // initial rebuild (plus the one a multi-coordinate jump from the
         // starting vector may cost) — not one rebuild per call.
         prop_assert!(engines[1].stats().full_rebuilds <= 2);
+        // The batched engines defer instead of per-move committing.
+        prop_assert_eq!(engines[2].stats().incremental_commits, 0);
+        prop_assert_eq!(engines[3].stats().incremental_commits, 0);
+        prop_assert_eq!(engines[2].stats().stateless_estimates, 0);
     }
 }

@@ -74,8 +74,24 @@ impl Xoshiro256 {
     /// comparing a fresh 53-bit uniform draw against `p` per bit;
     /// exactness of the per-bit probability matters more here than
     /// throughput, since weighted patterns drive all coverage experiments.
+    ///
+    /// # Boundary behavior
+    ///
+    /// The dyadic grid's boundary points `m = 0` (`p ≤ 0.0`) and
+    /// `m = 2^k` (`p ≥ 1.0`) are unreachable inside the digit
+    /// construction — `p ∈ (0, 1)` strictly implies `m ∈ [1, 2^32 − 1]`
+    /// — so they are realized by the early returns below: a constant
+    /// word, zero draws, generator state untouched.  Lane-wise this is
+    /// exactly what the scalar compare path would produce (`next_f64()`
+    /// lies in `[0, 1)`, so `< 0.0` never and `< 1.0` always holds); the
+    /// draw-count difference (0 vs 64) is the same documented
+    /// state-advance contract as the rest of the dyadic fast path.  NaN
+    /// is treated as weight 0 here rather than falling through to the
+    /// scalar path, where `next_f64() < NaN` would burn 64 draws to
+    /// produce the same all-zero word.  Exhaustive boundary tests below
+    /// pin all of this down.
     pub fn weighted_word(&mut self, p: f64) -> u64 {
-        if p <= 0.0 {
+        if p <= 0.0 || p.is_nan() {
             return 0;
         }
         if p >= 1.0 {
@@ -232,6 +248,119 @@ mod tests {
         assert_eq!(r.weighted_word(1.0), u64::MAX);
         assert_eq!(r.weighted_word(-0.5), 0);
         assert_eq!(r.weighted_word(1.5), u64::MAX);
+    }
+
+    #[test]
+    fn boundary_weights_consume_no_draws() {
+        // m = 0 and m = 2^k (p = 0.0 / 1.0) are answered by the early
+        // returns: constant word, generator state untouched — so a
+        // boundary-weighted input never shifts the stream of the inputs
+        // drawn after it.
+        let mut r = Xoshiro256::seed_from(77);
+        let reference = r.clone();
+        for p in [0.0, 1.0, -1.0, 2.0, f64::NAN, f64::NEG_INFINITY, f64::INFINITY] {
+            let word = r.weighted_word(p);
+            assert!(word == 0 || word == u64::MAX, "p = {p}");
+            assert_eq!(r, reference, "p = {p} must not advance the state");
+        }
+        // NaN counts as weight 0 (it used to take the 64-draw scalar
+        // path to produce the same all-zero word).
+        assert_eq!(r.weighted_word(f64::NAN), 0);
+    }
+
+    #[test]
+    fn boundary_weights_match_the_scalar_compare_path_lanewise() {
+        // The scalar path compares next_f64() ∈ [0, 1) against p: at the
+        // boundaries the comparison is constant, so the fast path's
+        // constant words are lane-for-lane what the scalar path would
+        // emit.  Verify against an explicit scalar-path replica.
+        let mut r = Xoshiro256::seed_from(101);
+        for &(p, expect) in &[(0.0f64, 0u64), (1.0, u64::MAX)] {
+            let mut replica = r.clone();
+            let mut scalar_word = 0u64;
+            for bit in 0..64 {
+                scalar_word |= u64::from(replica.next_f64() < p) << bit;
+            }
+            assert_eq!(scalar_word, expect, "scalar path at p = {p}");
+            assert_eq!(r.weighted_word(p), expect, "fast path at p = {p}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_dyadic_grid_boundaries_and_draw_counts() {
+        // Every m / 2^k for k ≤ 6 (boundaries m = 0 and m = 2^k
+        // included): the fast path must consume exactly
+        // k − trailing_zeros(m) draws (0 at the boundaries) and track
+        // the exact probability.
+        for k in 1u32..=6 {
+            let denom = 1u64 << k;
+            for m in 0..=denom {
+                let p = m as f64 / denom as f64;
+                let expected_draws = if m == 0 || m == denom {
+                    0
+                } else {
+                    k - m.trailing_zeros()
+                };
+                let mut a = Xoshiro256::seed_from(1000 + m * 64 + u64::from(k));
+                let mut b = a.clone();
+                let words = 800u32;
+                let mut ones = 0u64;
+                for _ in 0..words {
+                    ones += u64::from(a.weighted_word(p).count_ones());
+                    for _ in 0..expected_draws {
+                        b.next_u64();
+                    }
+                    assert_eq!(a, b, "p = {m}/{denom}: draw count mismatch");
+                }
+                let total = f64::from(words) * 64.0;
+                let frac = ones as f64 / total;
+                let sigma = (p * (1.0 - p) / total).sqrt();
+                assert!(
+                    (frac - p).abs() <= 6.0 * sigma.max(1e-4),
+                    "p = {m}/{denom}: measured {frac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_weight_is_stream_identical_to_the_raw_generator() {
+        // p = 0.5 is the single-digit dyadic case: the word *is* the
+        // next uniform word, bit for bit.
+        let mut a = Xoshiro256::seed_from(2024);
+        let mut b = a.clone();
+        for _ in 0..32 {
+            assert_eq!(a.weighted_word(0.5), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn near_boundary_dyadics_use_the_full_digit_budget() {
+        // The extreme representable dyadics 1/2^32 and 1 − 1/2^32 sit
+        // one grid step inside the m = 0 / m = 2^32 boundaries: both
+        // take the 32-digit fast path (m odd), not the early returns and
+        // not the 64-draw scalar fallback.
+        let lo = 1.0 / 4294967296.0;
+        let hi = 1.0 - lo;
+        for p in [lo, hi] {
+            let mut a = Xoshiro256::seed_from(8);
+            let mut b = a.clone();
+            let _ = a.weighted_word(p);
+            for _ in 0..32 {
+                b.next_u64();
+            }
+            assert_eq!(a, b, "p = {p} must cost exactly 32 draws");
+        }
+        // And their lane statistics stay one-sided as expected.
+        let mut r = Xoshiro256::seed_from(21);
+        let lo_ones: u64 = (0..4000)
+            .map(|_| u64::from(r.weighted_word(lo).count_ones()))
+            .sum();
+        assert!(lo_ones <= 2, "P(one) = 2^-32 over 256k lanes: {lo_ones}");
+        let hi_zeros: u64 = (0..4000)
+            .map(|_| u64::from(r.weighted_word(hi).count_zeros()))
+            .sum();
+        assert!(hi_zeros <= 2, "P(zero) = 2^-32 over 256k lanes: {hi_zeros}");
     }
 
     #[test]
