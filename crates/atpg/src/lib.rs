@@ -28,10 +28,12 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod dvalue;
 mod podem;
 mod report;
 
 pub use dvalue::{Dv, Tri};
 pub use podem::{AtpgOutcome, Podem};
-pub use report::{generate_tests, AtpgConfig, AtpgReport};
+pub use report::{generate_tests, AtpgConfig, AtpgReport, BacktraceGuidance};

@@ -6,6 +6,7 @@
 //! input, assign, imply by simulation, and backtrack on conflicts.  The
 //! search is complete: exhausting it proves the fault redundant.
 
+use wrt_analyze::Scoap;
 use wrt_circuit::{Circuit, GateKind, NodeId};
 use wrt_estimate::signal_probabilities_cop;
 use wrt_fault::{Fault, FaultSite};
@@ -23,25 +24,91 @@ pub enum AtpgOutcome {
     Aborted,
 }
 
+/// Controllability model driving the backtrace input choice.
+///
+/// All variants share the same objective/D-frontier logic; only
+/// `pick_input` — which unknown fanin a multi-input backtrace descends
+/// into — consults the model.  Detected/redundant conclusions are
+/// guidance-independent (the search is complete either way); the model
+/// only changes how many backtracks the search needs.
+#[derive(Debug, Clone)]
+enum Guidance {
+    /// No cost model: descend into the first unknown fanin.  The
+    /// unguided baseline for measuring what guidance buys.
+    Uniform,
+    /// COP signal probabilities at equiprobable inputs (the default).
+    Cop(Vec<f64>),
+    /// SCOAP integer controllabilities (`wrt_analyze`).
+    Scoap {
+        /// CC0 per node.
+        cc0: Vec<u32>,
+        /// CC1 per node.
+        cc1: Vec<u32>,
+    },
+}
+
 /// A PODEM test generator bound to one circuit.
 ///
 /// Constructing it once precomputes the controllability guidance (COP
-/// signal probabilities at 0.5) and output distances used by the
-/// backtrace and D-frontier heuristics.
+/// signal probabilities at 0.5, SCOAP costs via
+/// [`Podem::with_backtrace_costs`], or none via [`Podem::unguided`]) and
+/// the output distances used by the backtrace and D-frontier heuristics.
 #[derive(Debug, Clone)]
 pub struct Podem<'c> {
     circuit: &'c Circuit,
     backtrack_limit: usize,
-    /// P(node = 1) under equiprobable inputs: backtrace difficulty guide.
-    ctrl: Vec<f64>,
+    /// Backtrace difficulty guide.
+    guidance: Guidance,
     /// Minimum fanout distance to a primary output (`u32::MAX` if none).
     po_dist: Vec<u32>,
 }
 
 impl<'c> Podem<'c> {
-    /// Creates a generator with the default backtrack limit (10 000).
+    /// Creates a generator with the default backtrack limit (10 000) and
+    /// COP-probability backtrace guidance.
     pub fn new(circuit: &'c Circuit) -> Self {
         let ctrl = signal_probabilities_cop(circuit, &vec![0.5; circuit.num_inputs()]);
+        Self::with_guidance(circuit, Guidance::Cop(ctrl))
+    }
+
+    /// Creates a generator whose backtrace uses SCOAP integer
+    /// controllability costs: descend into the cheapest input when any
+    /// one suffices, the most expensive when all are required.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wrt_analyze::Scoap;
+    /// use wrt_atpg::{AtpgOutcome, Podem};
+    /// use wrt_fault::Fault;
+    ///
+    /// # fn main() -> Result<(), wrt_circuit::ParseBenchError> {
+    /// let c = wrt_circuit::parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+    /// let scoap = Scoap::compute(&c);
+    /// let podem = Podem::with_backtrace_costs(&c, &scoap);
+    /// let y = c.node_id("y").expect("exists");
+    /// assert!(matches!(podem.generate(Fault::output(y, false)), AtpgOutcome::Test(_)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_backtrace_costs(circuit: &'c Circuit, scoap: &Scoap) -> Self {
+        Self::with_guidance(
+            circuit,
+            Guidance::Scoap {
+                cc0: scoap.cc0_all().to_vec(),
+                cc1: scoap.cc1_all().to_vec(),
+            },
+        )
+    }
+
+    /// Creates a generator with no backtrace cost model (first unknown
+    /// fanin wins): the baseline that guided configurations are measured
+    /// against.
+    pub fn unguided(circuit: &'c Circuit) -> Self {
+        Self::with_guidance(circuit, Guidance::Uniform)
+    }
+
+    fn with_guidance(circuit: &'c Circuit, guidance: Guidance) -> Self {
         let mut po_dist = vec![u32::MAX; circuit.num_nodes()];
         // Reverse pass: node ids are topological, so a reverse scan
         // settles distances in one sweep.
@@ -58,7 +125,7 @@ impl<'c> Podem<'c> {
         Podem {
             circuit,
             backtrack_limit: 10_000,
-            ctrl,
+            guidance,
             po_dist,
         }
     }
@@ -71,6 +138,13 @@ impl<'c> Podem<'c> {
 
     /// Attempts to generate a test for `fault`.
     pub fn generate(&self, fault: Fault) -> AtpgOutcome {
+        self.generate_counted(fault).0
+    }
+
+    /// Like [`Podem::generate`], also returning the number of backtracks
+    /// the search needed — the cost metric guided and unguided
+    /// configurations are compared on.
+    pub fn generate_counted(&self, fault: Fault) -> (AtpgOutcome, usize) {
         let num_inputs = self.circuit.num_inputs();
         let mut assignment = vec![Tri::X; num_inputs];
         // Decision stack: (input index, second branch already tried).
@@ -89,8 +163,9 @@ impl<'c> Podem<'c> {
                 .iter()
                 .any(|&o| sim.values[o.index()].is_fault_effect())
             {
-                return AtpgOutcome::Test(
-                    assignment.iter().map(|t| t.value()).collect(),
+                return (
+                    AtpgOutcome::Test(assignment.iter().map(|t| t.value()).collect()),
+                    backtracks,
                 );
             }
 
@@ -115,16 +190,17 @@ impl<'c> Podem<'c> {
                     // Conflict: flip the most recent untried decision.
                     backtracks += 1;
                     if backtracks > self.backtrack_limit {
-                        return AtpgOutcome::Aborted;
+                        return (AtpgOutcome::Aborted, backtracks);
                     }
                     loop {
                         match stack.pop() {
                             None => {
-                                return if incomplete {
+                                let outcome = if incomplete {
                                     AtpgOutcome::Aborted
                                 } else {
                                     AtpgOutcome::Redundant
                                 };
+                                return (outcome, backtracks);
                             }
                             Some((pi, true)) => assignment[pi] = Tri::X,
                             Some((pi, false)) => {
@@ -323,7 +399,8 @@ impl<'c> Podem<'c> {
     }
 
     /// Selects an unknown fanin: the hardest to control when all inputs
-    /// must take `base`, the easiest when one suffices.
+    /// must take `base`, the easiest when one suffices (per the active
+    /// [`Guidance`] model; unguided takes the first unknown fanin).
     fn pick_input(
         &self,
         fanin: &[NodeId],
@@ -331,22 +408,43 @@ impl<'c> Podem<'c> {
         base: bool,
         need_all: bool,
     ) -> Option<NodeId> {
-        let score = |f: NodeId| -> f64 {
-            let p1 = self.ctrl[f.index()];
-            if base {
-                p1
-            } else {
-                1.0 - p1
-            }
-        };
-        let xs = fanin
+        let mut xs = fanin
             .iter()
             .copied()
             .filter(|&f| values[f.index()].good == Tri::X);
-        if need_all {
-            xs.min_by(|&a, &b| score(a).total_cmp(&score(b)))
-        } else {
-            xs.max_by(|&a, &b| score(a).total_cmp(&score(b)))
+        match &self.guidance {
+            Guidance::Uniform => xs.next(),
+            Guidance::Cop(ctrl) => {
+                // Probability of achieving `base`: low = hard.
+                let score = |f: NodeId| -> f64 {
+                    let p1 = ctrl[f.index()];
+                    if base {
+                        p1
+                    } else {
+                        1.0 - p1
+                    }
+                };
+                if need_all {
+                    xs.min_by(|&a, &b| score(a).total_cmp(&score(b)))
+                } else {
+                    xs.max_by(|&a, &b| score(a).total_cmp(&score(b)))
+                }
+            }
+            Guidance::Scoap { cc0, cc1 } => {
+                // Integer cost of achieving `base`: high = hard.
+                let cost = |f: NodeId| -> u32 {
+                    if base {
+                        cc1[f.index()]
+                    } else {
+                        cc0[f.index()]
+                    }
+                };
+                if need_all {
+                    xs.max_by_key(|&f| cost(f))
+                } else {
+                    xs.min_by_key(|&f| cost(f))
+                }
+            }
         }
     }
 }
@@ -527,6 +625,57 @@ mod tests {
         match podem.generate(Fault::output(y, false)) {
             AtpgOutcome::Test(t) => assert!(t.iter().all(|&v| v == Some(true))),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn guidance_never_changes_conclusions() {
+        // All three guidance models are complete searches: per fault the
+        // outcome class (test / redundant) must match exactly, only the
+        // backtrack spend may differ.
+        use wrt_analyze::Scoap;
+        let c = wrt_workloads::s1();
+        let scoap = Scoap::compute(&c);
+        let cop = Podem::new(&c);
+        let uniform = Podem::unguided(&c);
+        let guided = Podem::with_backtrace_costs(&c, &scoap);
+        for (_, fault) in FaultList::checkpoints(&c).collapse_equivalent(&c).iter() {
+            let (a, _) = cop.generate_counted(fault);
+            let (b, _) = uniform.generate_counted(fault);
+            let (g, _) = guided.generate_counted(fault);
+            let class = |o: &AtpgOutcome| match o {
+                AtpgOutcome::Test(_) => "test",
+                AtpgOutcome::Redundant => "redundant",
+                AtpgOutcome::Aborted => "aborted",
+            };
+            assert_eq!(class(&a), class(&b), "{}", fault.describe(&c));
+            assert_eq!(class(&a), class(&g), "{}", fault.describe(&c));
+        }
+    }
+
+    #[test]
+    fn counted_backtracks_match_generate() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n").unwrap();
+        let y = c.node_id("y").unwrap();
+        let podem = Podem::new(&c);
+        // Proving the redundancy requires exhausting both branches of the
+        // single decision variable: at least one backtrack.
+        let (outcome, backtracks) = podem.generate_counted(Fault::output(y, true));
+        assert_eq!(outcome, AtpgOutcome::Redundant);
+        assert!(backtracks >= 1, "redundancy proof must backtrack");
+        assert_eq!(podem.generate(Fault::output(y, true)), outcome);
+    }
+
+    #[test]
+    fn scoap_guided_tests_are_valid() {
+        use wrt_analyze::Scoap;
+        let c = wrt_workloads::s1();
+        let scoap = Scoap::compute(&c);
+        let podem = Podem::with_backtrace_costs(&c, &scoap);
+        for (_, fault) in FaultList::checkpoints(&c).iter().take(40) {
+            if let AtpgOutcome::Test(t) = podem.generate(fault) {
+                assert!(detects(&c, fault, &t), "bogus test for {}", fault.describe(&c));
+            }
         }
     }
 

@@ -1,10 +1,27 @@
 //! Batch test generation with fault dropping.
 
+use wrt_analyze::Scoap;
 use wrt_circuit::Circuit;
 use wrt_fault::{FaultId, FaultList};
 use wrt_sim::{FaultSimulator, Xoshiro256};
 
 use crate::podem::{AtpgOutcome, Podem};
+
+/// Which controllability model steers the PODEM backtrace.
+///
+/// The choice never changes which faults end up detected or redundant
+/// (PODEM's search is complete); it only changes how many backtracks the
+/// search spends getting there, which [`AtpgReport::backtracks`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BacktraceGuidance {
+    /// First-unknown-fanin baseline; no cost model.
+    Unguided,
+    /// COP signal probabilities at equiprobable inputs (the default).
+    #[default]
+    Cop,
+    /// SCOAP integer controllability costs (`wrt_analyze`).
+    Scoap,
+}
 
 /// Configuration for [`generate_tests`].
 #[derive(Debug, Clone)]
@@ -14,6 +31,8 @@ pub struct AtpgConfig {
     /// Fill don't-care bits randomly (seeded) instead of with 0 — random
     /// fill lets each deterministic pattern drop many additional faults.
     pub random_fill_seed: Option<u64>,
+    /// Controllability model for the backtrace input choice.
+    pub guidance: BacktraceGuidance,
 }
 
 impl Default for AtpgConfig {
@@ -21,6 +40,7 @@ impl Default for AtpgConfig {
         AtpgConfig {
             backtrack_limit: 10_000,
             random_fill_seed: Some(0x5EED),
+            guidance: BacktraceGuidance::default(),
         }
     }
 }
@@ -38,6 +58,9 @@ pub struct AtpgReport {
     pub aborted: Vec<FaultId>,
     /// Number of PODEM invocations (≤ fault count thanks to dropping).
     pub podem_calls: usize,
+    /// Total backtracks across all PODEM invocations — the search-effort
+    /// metric that backtrace guidance models are compared on.
+    pub backtracks: usize,
 }
 
 impl AtpgReport {
@@ -60,7 +83,14 @@ impl AtpgReport {
 /// the paper's §5.2 accelerates further by *pre-dropping* with optimized
 /// random patterns before any PODEM call.
 pub fn generate_tests(circuit: &Circuit, faults: &FaultList, config: &AtpgConfig) -> AtpgReport {
-    let podem = Podem::new(circuit).with_backtrack_limit(config.backtrack_limit);
+    let podem = match config.guidance {
+        BacktraceGuidance::Unguided => Podem::unguided(circuit),
+        BacktraceGuidance::Cop => Podem::new(circuit),
+        BacktraceGuidance::Scoap => {
+            Podem::with_backtrace_costs(circuit, &Scoap::compute(circuit))
+        }
+    }
+    .with_backtrack_limit(config.backtrack_limit);
     let mut rng = config.random_fill_seed.map(Xoshiro256::seed_from);
     let mut sim = FaultSimulator::new(circuit, faults);
 
@@ -71,6 +101,7 @@ pub fn generate_tests(circuit: &Circuit, faults: &FaultList, config: &AtpgConfig
         redundant: Vec::new(),
         aborted: Vec::new(),
         podem_calls: 0,
+        backtracks: 0,
     };
 
     for (id, fault) in faults.iter() {
@@ -78,7 +109,9 @@ pub fn generate_tests(circuit: &Circuit, faults: &FaultList, config: &AtpgConfig
             continue;
         }
         report.podem_calls += 1;
-        match podem.generate(fault) {
+        let (outcome, backtracks) = podem.generate_counted(fault);
+        report.backtracks += backtracks;
+        match outcome {
             AtpgOutcome::Redundant => report.redundant.push(id),
             AtpgOutcome::Aborted => report.aborted.push(id),
             AtpgOutcome::Test(pattern) => {
@@ -167,6 +200,32 @@ mod tests {
         let r1 = generate_tests(&c, &faults, &config);
         let r2 = generate_tests(&c, &faults, &config);
         assert_eq!(r1.tests, r2.tests);
+    }
+
+    #[test]
+    fn guidance_variants_agree_on_detection_sets() {
+        let c = wrt_workloads::s1();
+        let faults = FaultList::checkpoints(&c).collapse_equivalent(&c);
+        let run = |guidance| {
+            generate_tests(
+                &c,
+                &faults,
+                &AtpgConfig {
+                    guidance,
+                    random_fill_seed: None,
+                    ..AtpgConfig::default()
+                },
+            )
+        };
+        let cop = run(BacktraceGuidance::Cop);
+        let unguided = run(BacktraceGuidance::Unguided);
+        let scoap = run(BacktraceGuidance::Scoap);
+        // Fault dropping differs pattern-by-pattern, but redundancy calls
+        // and final coverage are guidance-independent.
+        assert_eq!(cop.redundant, unguided.redundant);
+        assert_eq!(cop.redundant, scoap.redundant);
+        assert_eq!(cop.coverage(), unguided.coverage());
+        assert_eq!(cop.coverage(), scoap.coverage());
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Benchmark-artifact guard: validates `BENCH_sim.json` and
-//! `BENCH_optimize.json` so the committed artifacts cannot silently go
-//! stale or corrupt.
+//! Benchmark-artifact guard: validates `BENCH_sim.json`,
+//! `BENCH_optimize.json` and `BENCH_analyze.json` so the committed
+//! artifacts cannot silently go stale or corrupt.
 //!
 //! The bench binaries assert their own invariants at generation time,
 //! but the *committed* artifacts are edited, rebased and merged like any
@@ -12,7 +12,11 @@
 //!   the build instead of shipping as a quietly meaningless number;
 //! * each file must contain at least one `bit_identical` field and one
 //!   numeric field, so an emptied/truncated artifact cannot pass by
-//!   vacuity.
+//!   vacuity;
+//! * wherever an artifact records a `guided_backtracks` /
+//!   `unguided_backtracks` pair, guided must not exceed unguided — a
+//!   committed artifact claiming SCOAP guidance made PODEM *worse* on
+//!   the tracked set is a regression, not a measurement.
 //!
 //! Run with `cargo run --release -p wrt-bench --bin bench_guard --
 //! [FILE ...]`; with no arguments it checks the two default artifacts in
@@ -115,7 +119,18 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
     let values = bare_values(text);
     let mut bit_identical_fields = 0usize;
     let mut numeric_fields = 0usize;
+    let mut guided: Vec<(f64, usize)> = Vec::new();
+    let mut unguided: Vec<(f64, usize)> = Vec::new();
     for v in &values {
+        if v.key == "guided_backtracks" || v.key == "unguided_backtracks" {
+            if let Ok(x) = v.value.parse::<f64>() {
+                if v.key == "guided_backtracks" {
+                    guided.push((x, v.line));
+                } else {
+                    unguided.push((x, v.line));
+                }
+            }
+        }
         if v.key == "bit_identical" {
             bit_identical_fields += 1;
             if v.value != "true" {
@@ -145,13 +160,34 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
     if numeric_fields == 0 {
         violations.push(format!("{path}: no numeric fields — empty artifact"));
     }
+    // Guidance pairing: rows emit the two keys together and in order, so
+    // the i-th guided value belongs to the i-th unguided one.
+    if guided.len() == unguided.len() {
+        for (&(g, line), &(u, _)) in guided.iter().zip(&unguided) {
+            if g > u {
+                violations.push(format!(
+                    "{path}:{line}: guided_backtracks {g} exceeds unguided_backtracks {u} — guidance regression"
+                ));
+            }
+        }
+    } else {
+        violations.push(format!(
+            "{path}: {} guided_backtracks vs {} unguided_backtracks fields — unpaired rows",
+            guided.len(),
+            unguided.len()
+        ));
+    }
     violations
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let files: Vec<String> = if args.is_empty() {
-        vec!["BENCH_sim.json".into(), "BENCH_optimize.json".into()]
+        vec![
+            "BENCH_sim.json".into(),
+            "BENCH_optimize.json".into(),
+            "BENCH_analyze.json".into(),
+        ]
     } else {
         args
     };
@@ -220,10 +256,30 @@ mod tests {
     }
 
     #[test]
+    fn guidance_regressions_are_flagged() {
+        let ok = "{ \"guided_backtracks\": 32, \"unguided_backtracks\": 50, \"bit_identical\": true }";
+        assert!(check_artifact("x.json", ok).is_empty());
+        let tie = "{ \"guided_backtracks\": 16, \"unguided_backtracks\": 16, \"bit_identical\": true }";
+        assert!(check_artifact("x.json", tie).is_empty());
+        let bad = "{ \"guided_backtracks\": 51, \"unguided_backtracks\": 50, \"bit_identical\": true }";
+        let v = check_artifact("x.json", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("guidance regression"));
+    }
+
+    #[test]
+    fn unpaired_guidance_rows_are_flagged() {
+        let text = "{ \"guided_backtracks\": 32, \"bit_identical\": true, \"x\": 1.0 }";
+        let v = check_artifact("x.json", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("unpaired"));
+    }
+
+    #[test]
     fn committed_artifacts_are_clean() {
         // The repository's own artifacts must satisfy the guard; the
         // test runs from the crate directory, so walk up to the root.
-        for name in ["BENCH_sim.json", "BENCH_optimize.json"] {
+        for name in ["BENCH_sim.json", "BENCH_optimize.json", "BENCH_analyze.json"] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
                 .join(name);

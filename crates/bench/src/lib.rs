@@ -7,6 +7,8 @@
 //! bit-parallel but still simulate thousands of patterns against
 //! thousands of faults.
 
+#![forbid(unsafe_code)]
+
 pub mod paper;
 
 use wrt_circuit::Circuit;

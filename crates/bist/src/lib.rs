@@ -24,6 +24,8 @@
 //! assert_eq!(first.len(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bilbo;
 mod lfsr;
 mod misr;

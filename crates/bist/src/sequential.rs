@@ -208,13 +208,11 @@ pub fn accumulator(width: usize) -> SequentialCircuit {
         carry = b.or2(c1, c2).expect("valid");
         next.push(sum);
     }
-    let mut registers = Vec::with_capacity(width);
     for (i, &s) in next.iter().enumerate() {
         let out = b
             .gate(GateKind::Buf, format!("NS{i}"), &[s])
             .expect("valid");
         b.mark_output(out);
-        registers.push((state[i], out));
     }
     let ovf = b.gate(GateKind::Buf, "OVF", &[carry]).expect("valid");
     b.mark_output(ovf);

@@ -65,10 +65,23 @@ pub enum ParseBenchError {
         /// Explanation of the problem.
         message: String,
     },
-    /// A signal is referenced but never defined.
-    UndefinedSignal(String),
+    /// A signal is referenced but never defined (an undriven net).
+    UndefinedSignal {
+        /// The undriven signal name.
+        signal: String,
+        /// The gate (or `OUTPUT`) that references it.
+        sink: String,
+        /// 1-based line of the referencing definition.
+        line: usize,
+    },
     /// The netlist contains a combinational cycle.
-    Cycle(String),
+    Cycle {
+        /// The signals on the cycle, in netlist dependency order; the first
+        /// name is repeated at the end to close the loop.
+        path: Vec<String>,
+        /// 1-based line of the definition that closes the loop.
+        line: usize,
+    },
     /// The netlist was structurally invalid after parsing.
     Build(BuildCircuitError),
 }
@@ -79,9 +92,18 @@ impl fmt::Display for ParseBenchError {
             ParseBenchError::Syntax { line, message } => {
                 write!(f, "syntax error on line {line}: {message}")
             }
-            ParseBenchError::UndefinedSignal(s) => write!(f, "signal `{s}` is never defined"),
-            ParseBenchError::Cycle(s) => {
-                write!(f, "combinational cycle through signal `{s}`")
+            ParseBenchError::UndefinedSignal { signal, sink, line } => {
+                write!(
+                    f,
+                    "signal `{signal}` referenced by `{sink}` on line {line} is never defined"
+                )
+            }
+            ParseBenchError::Cycle { path, line } => {
+                write!(
+                    f,
+                    "combinational cycle closed on line {line}: {}",
+                    path.join(" -> ")
+                )
             }
             ParseBenchError::Build(e) => write!(f, "invalid netlist: {e}"),
         }

@@ -18,6 +18,13 @@ pub struct Levels {
 
 impl Levels {
     /// Computes levels for a topologically ordered node list.
+    ///
+    /// Combinational loops are unrepresentable here by construction: the
+    /// builder rejects forward fanin references ([`crate::BuildCircuitError::
+    /// UnknownFanin`]) and the parser reports cycles as structured
+    /// [`crate::ParseBenchError::Cycle`] values before a `Circuit` ever
+    /// exists.  The assert below turns any future violation of that
+    /// invariant into a loud failure instead of silently wrong levels.
     pub(crate) fn compute(nodes: &[Node]) -> Self {
         let mut level = vec![0u32; nodes.len()];
         let mut depth = 0;
@@ -25,7 +32,14 @@ impl Levels {
             let l = node
                 .fanin
                 .iter()
-                .map(|f| level[f.index()] + 1)
+                .map(|f| {
+                    assert!(
+                        f.index() < i,
+                        "levelize requires topological order; node {i} has forward fanin {}",
+                        f.index()
+                    );
+                    level[f.index()] + 1
+                })
                 .max()
                 .unwrap_or(0);
             level[i] = l;
@@ -63,7 +77,7 @@ impl Levels {
 
     /// Iterates over levels `0..=depth` as slices of node ids.
     pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
-        self.by_level.iter().map(|v| v.as_slice())
+        self.by_level.iter().map(Vec::as_slice)
     }
 }
 

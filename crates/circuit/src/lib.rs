@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod cone;
 mod error;
@@ -47,7 +49,7 @@ pub use error::{BuildCircuitError, ParseBenchError};
 pub use gate::GateKind;
 pub use levelize::Levels;
 pub use netlist::{Circuit, Node, NodeId};
-pub use parse::{parse_bench, parse_bench_named};
+pub use parse::{parse_bench, parse_bench_named, scan_bench_issues};
 pub use simplify::simplify;
 pub use stats::CircuitStats;
 pub use write::to_bench;

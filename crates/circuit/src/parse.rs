@@ -14,7 +14,7 @@
 //! Signals may be referenced before they are defined; the parser performs
 //! its own topological ordering and rejects combinational cycles.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::builder::CircuitBuilder;
 use crate::error::ParseBenchError;
@@ -27,6 +27,100 @@ struct RawGate {
     kind: GateKind,
     fanin: Vec<String>,
     line: usize,
+}
+
+/// Line-level scan of a `.bench` netlist.  Lenient: malformed lines are
+/// reported into `issues` and skipped, so one bad line does not hide
+/// structural problems elsewhere.
+#[allow(clippy::type_complexity)]
+fn scan_lines(
+    text: &str,
+    issues: &mut Vec<ParseBenchError>,
+) -> (Vec<(String, usize)>, Vec<(String, usize)>, Vec<RawGate>) {
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(inner) = strip_call(code, "INPUT") {
+            inputs.push((inner.trim().to_string(), line));
+        } else if let Some(inner) = strip_call(code, "OUTPUT") {
+            outputs.push((inner.trim().to_string(), line));
+        } else if let Some(eq) = code.find('=') {
+            let target = code[..eq].trim();
+            let rhs = code[eq + 1..].trim();
+            if target.is_empty() {
+                issues.push(syntax(line, "missing signal name before `=`"));
+                continue;
+            }
+            let Some(open) = rhs.find('(') else {
+                issues.push(syntax(line, "expected `KIND(args)` after `=`"));
+                continue;
+            };
+            if !rhs.ends_with(')') {
+                issues.push(syntax(line, "missing closing `)`"));
+                continue;
+            }
+            let kind: GateKind = match rhs[..open].trim().parse() {
+                Ok(k) => k,
+                Err(e) => {
+                    issues.push(syntax(line, &format!("{e}")));
+                    continue;
+                }
+            };
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanin: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            gates.push(RawGate {
+                name: target.to_string(),
+                kind,
+                fanin,
+                line,
+            });
+        } else {
+            issues.push(syntax(line, "expected INPUT(..), OUTPUT(..) or `sig = KIND(..)`"));
+        }
+    }
+    (inputs, outputs, gates)
+}
+
+/// Indexes gate definitions by name, reporting duplicate definitions and
+/// input/gate name conflicts into `issues`.
+fn index_definitions<'g>(
+    inputs: &[(String, usize)],
+    gates: &'g [RawGate],
+    issues: &mut Vec<ParseBenchError>,
+) -> HashMap<&'g str, usize> {
+    let mut def: HashMap<&str, usize> = HashMap::new();
+    for (i, g) in gates.iter().enumerate() {
+        if def.insert(g.name.as_str(), i).is_some() {
+            issues.push(syntax(
+                g.line,
+                &format!("signal `{}` defined more than once", g.name),
+            ));
+        }
+    }
+    for (name, line) in inputs {
+        if def.contains_key(name.as_str()) {
+            issues.push(syntax(
+                *line,
+                &format!("signal `{name}` is both an input and a gate output"),
+            ));
+        }
+    }
+    def
 }
 
 /// Parses a `.bench` netlist into a [`Circuit`].
@@ -58,94 +152,22 @@ pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
 ///
 /// Same conditions as [`parse_bench`].
 pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
-    let mut inputs: Vec<(String, usize)> = Vec::new();
-    let mut outputs: Vec<(String, usize)> = Vec::new();
-    let mut gates: Vec<RawGate> = Vec::new();
-
-    for (lineno, raw_line) in text.lines().enumerate() {
-        let line = lineno + 1;
-        let code = match raw_line.find('#') {
-            Some(pos) => &raw_line[..pos],
-            None => raw_line,
-        }
-        .trim();
-        if code.is_empty() {
-            continue;
-        }
-        if let Some(inner) = strip_call(code, "INPUT") {
-            inputs.push((inner.trim().to_string(), line));
-        } else if let Some(inner) = strip_call(code, "OUTPUT") {
-            outputs.push((inner.trim().to_string(), line));
-        } else if let Some(eq) = code.find('=') {
-            let target = code[..eq].trim();
-            let rhs = code[eq + 1..].trim();
-            if target.is_empty() {
-                return Err(syntax(line, "missing signal name before `=`"));
-            }
-            let open = rhs
-                .find('(')
-                .ok_or_else(|| syntax(line, "expected `KIND(args)` after `=`"))?;
-            if !rhs.ends_with(')') {
-                return Err(syntax(line, "missing closing `)`"));
-            }
-            let kind: GateKind = rhs[..open]
-                .trim()
-                .parse()
-                .map_err(|e| syntax(line, &format!("{e}")))?;
-            let args = &rhs[open + 1..rhs.len() - 1];
-            let fanin: Vec<String> = args
-                .split(',')
-                .map(|a| a.trim().to_string())
-                .filter(|a| !a.is_empty())
-                .collect();
-            gates.push(RawGate {
-                name: target.to_string(),
-                kind,
-                fanin,
-                line,
-            });
-        } else {
-            return Err(syntax(line, "expected INPUT(..), OUTPUT(..) or `sig = KIND(..)`"));
-        }
-    }
-
-    // Index all definitions.
-    let mut def: HashMap<&str, usize> = HashMap::new(); // name -> gates index
-    for (i, g) in gates.iter().enumerate() {
-        if def.insert(g.name.as_str(), i).is_some() {
-            return Err(syntax(
-                g.line,
-                &format!("signal `{}` defined more than once", g.name),
-            ));
-        }
-    }
-    for (name, line) in &inputs {
-        if def.contains_key(name.as_str()) {
-            return Err(syntax(
-                *line,
-                &format!("signal `{name}` is both an input and a gate output"),
-            ));
-        }
+    let mut issues = Vec::new();
+    let (inputs, outputs, gates) = scan_lines(text, &mut issues);
+    let def = index_definitions(&inputs, &gates, &mut issues);
+    if let Some(first) = issues.into_iter().next() {
+        return Err(first);
     }
 
     // Build: inputs first, then gates in dependency (DFS post) order.
     let mut builder = CircuitBuilder::named(name);
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     for (name, _) in &inputs {
-        if ids.contains_key(name) {
-            // Let the builder report the duplicate-name error uniformly.
-        }
         let id = builder.input(name.clone());
         ids.insert(name.clone(), id);
     }
 
     // Iterative DFS over gate dependencies.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Grey,
-        Black,
-    }
     let mut mark = vec![Mark::White; gates.len()];
     for start in 0..gates.len() {
         if mark[start] == Mark::Black {
@@ -154,20 +176,24 @@ pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, ParseBenchEr
         // stack of (gate index, next fanin position)
         let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
         mark[start] = Mark::Grey;
-        while let Some(&mut (gi, ref mut pos)) = stack.last_mut() {
+        while let Some(&(gi, pos)) = stack.last() {
             let g = &gates[gi];
-            if *pos < g.fanin.len() {
-                let fname = &g.fanin[*pos];
-                *pos += 1;
+            if pos < g.fanin.len() {
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                let fname = &g.fanin[pos];
                 if ids.contains_key(fname) {
                     continue; // already materialized (input or finished gate)
                 }
                 let Some(&fi) = def.get(fname.as_str()) else {
-                    return Err(ParseBenchError::UndefinedSignal(fname.clone()));
+                    return Err(ParseBenchError::UndefinedSignal {
+                        signal: fname.clone(),
+                        sink: g.name.clone(),
+                        line: g.line,
+                    });
                 };
                 match mark[fi] {
                     Mark::Black => {}
-                    Mark::Grey => return Err(ParseBenchError::Cycle(fname.clone())),
+                    Mark::Grey => return Err(cycle_error(&gates, &stack, fi, g.line)),
                     Mark::White => {
                         mark[fi] = Mark::Grey;
                         stack.push((fi, 0));
@@ -185,14 +211,131 @@ pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, ParseBenchEr
         }
     }
 
-    for (oname, _) in &outputs {
+    for (oname, line) in &outputs {
         let Some(&id) = ids.get(oname) else {
-            return Err(ParseBenchError::UndefinedSignal(oname.clone()));
+            return Err(ParseBenchError::UndefinedSignal {
+                signal: oname.clone(),
+                sink: "OUTPUT".to_string(),
+                line: *line,
+            });
         };
         builder.mark_output(id);
     }
 
     Ok(builder.build()?)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mark {
+    White,
+    Grey,
+    Black,
+}
+
+/// Reconstructs the combinational loop from the DFS stack when a grey node
+/// `fi` is re-entered: the stack suffix from `fi`'s frame to the top, with
+/// the loop signal repeated at the end to close the path.
+fn cycle_error(
+    gates: &[RawGate],
+    stack: &[(usize, usize)],
+    fi: usize,
+    line: usize,
+) -> ParseBenchError {
+    let k = stack
+        .iter()
+        .position(|&(i, _)| i == fi)
+        .expect("grey node is on the DFS stack");
+    let mut path: Vec<String> = stack[k..]
+        .iter()
+        .map(|&(i, _)| gates[i].name.clone())
+        .collect();
+    path.push(gates[fi].name.clone());
+    ParseBenchError::Cycle { path, line }
+}
+
+/// Scans a `.bench` netlist and returns *all* structural issues it can find
+/// without building a circuit: syntax errors, duplicate definitions,
+/// undriven nets (signals referenced but never defined), and combinational
+/// cycles.
+///
+/// Unlike [`parse_bench`], which stops at the first problem, this is the
+/// lint-oriented entry point: every issue is reported, each with the line
+/// it was detected on.  An empty result means [`parse_bench`] will get past
+/// scanning and dependency resolution (structural `Build` errors such as
+/// bad arity can still occur).
+///
+/// # Example
+///
+/// ```
+/// let issues = wrt_circuit::scan_bench_issues(
+///     "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\ny = OR(a, ghost)\n",
+/// );
+/// assert_eq!(issues.len(), 2); // one undriven net, one cycle
+/// ```
+pub fn scan_bench_issues(text: &str) -> Vec<ParseBenchError> {
+    let mut issues = Vec::new();
+    let (inputs, outputs, gates) = scan_lines(text, &mut issues);
+    let def = index_definitions(&inputs, &gates, &mut issues);
+    let defined: HashSet<&str> = inputs
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .chain(gates.iter().map(|g| g.name.as_str()))
+        .collect();
+
+    // Undriven nets: every reference to a signal nobody defines.
+    let mut seen: HashSet<(&str, &str)> = HashSet::new();
+    for g in &gates {
+        for fname in &g.fanin {
+            if !defined.contains(fname.as_str()) && seen.insert((fname, &g.name)) {
+                issues.push(ParseBenchError::UndefinedSignal {
+                    signal: fname.clone(),
+                    sink: g.name.clone(),
+                    line: g.line,
+                });
+            }
+        }
+    }
+    for (oname, line) in &outputs {
+        if !defined.contains(oname.as_str()) {
+            issues.push(ParseBenchError::UndefinedSignal {
+                signal: oname.clone(),
+                sink: "OUTPUT".to_string(),
+                line: *line,
+            });
+        }
+    }
+
+    // Combinational cycles: same iterative DFS as the parser, but every
+    // back edge becomes one finding instead of aborting on the first.
+    let mut mark = vec![Mark::White; gates.len()];
+    for start in 0..gates.len() {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        mark[start] = Mark::Grey;
+        while let Some(&(gi, pos)) = stack.last() {
+            let g = &gates[gi];
+            if pos < g.fanin.len() {
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                let Some(&fi) = def.get(g.fanin[pos].as_str()) else {
+                    continue; // primary input or undriven (already reported)
+                };
+                match mark[fi] {
+                    Mark::Black => {}
+                    Mark::Grey => issues.push(cycle_error(&gates, &stack, fi, g.line)),
+                    Mark::White => {
+                        mark[fi] = Mark::Grey;
+                        stack.push((fi, 0));
+                    }
+                }
+            } else {
+                mark[gi] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    issues
 }
 
 fn strip_call<'a>(code: &'a str, keyword: &str) -> Option<&'a str> {
@@ -230,22 +373,89 @@ mod tests {
     }
 
     #[test]
-    fn detects_cycles() {
+    fn detects_cycles_with_full_path() {
         let err =
             parse_bench("INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n").unwrap_err();
-        assert!(matches!(err, ParseBenchError::Cycle(_)));
+        let ParseBenchError::Cycle { path, line } = err else {
+            panic!("expected cycle, got {err:?}");
+        };
+        // The loop is closed: first signal repeated at the end.
+        assert_eq!(path.first(), path.last());
+        assert_eq!(path.len(), 3);
+        assert!(path.contains(&"p".to_string()));
+        assert!(path.contains(&"q".to_string()));
+        // Closed by q's reference back to p on line 4.
+        assert_eq!(line, 4);
     }
 
     #[test]
     fn detects_undefined_signals() {
         let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
-        assert_eq!(err, ParseBenchError::UndefinedSignal("ghost".into()));
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedSignal {
+                signal: "ghost".into(),
+                sink: "y".into(),
+                line: 3,
+            }
+        );
     }
 
     #[test]
     fn detects_undefined_output() {
         let err = parse_bench("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n").unwrap_err();
-        assert_eq!(err, ParseBenchError::UndefinedSignal("nope".into()));
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedSignal {
+                signal: "nope".into(),
+                sink: "OUTPUT".into(),
+                line: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn scan_reports_all_issues_not_just_the_first() {
+        let issues = scan_bench_issues(
+            "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\ny = OR(a, ghost)\nz = BUFF(spook)\n",
+        );
+        let undriven = issues
+            .iter()
+            .filter(|i| matches!(i, ParseBenchError::UndefinedSignal { .. }))
+            .count();
+        let cycles = issues
+            .iter()
+            .filter(|i| matches!(i, ParseBenchError::Cycle { .. }))
+            .count();
+        assert_eq!(undriven, 2, "{issues:?}");
+        assert_eq!(cycles, 1, "{issues:?}");
+    }
+
+    #[test]
+    fn scan_is_empty_on_clean_netlists() {
+        assert!(scan_bench_issues("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").is_empty());
+    }
+
+    #[test]
+    fn scan_reports_self_loop() {
+        let issues = scan_bench_issues("INPUT(a)\nOUTPUT(q)\nq = AND(a, q)\n");
+        assert_eq!(issues.len(), 1);
+        let ParseBenchError::Cycle { path, line } = &issues[0] else {
+            panic!("expected cycle, got {issues:?}");
+        };
+        assert_eq!(path.as_slice(), ["q", "q"]);
+        assert_eq!(*line, 3);
+    }
+
+    #[test]
+    fn scan_keeps_going_past_syntax_errors() {
+        let issues = scan_bench_issues("INPUT(a)\nwat\ny = OR(a, ghost)\nOUTPUT(y)\n");
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ParseBenchError::Syntax { line: 2, .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ParseBenchError::UndefinedSignal { line: 3, .. })));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Subcommand implementations.
 
-use wrt_atpg::{generate_tests, AtpgConfig};
+use wrt_atpg::{generate_tests, AtpgConfig, BacktraceGuidance};
 use wrt_circuit::{Circuit, CircuitStats};
-use wrt_core::{quantize_weights, required_test_length, OptimizeConfig};
+use wrt_core::{quantize_weights, OptimizeConfig};
 use wrt_estimate::{
     constant_line_faults, CopEngine, DetectionProbabilityEngine, IncrementalCop,
     MonteCarloEngine, StafanEngine,
@@ -14,9 +14,17 @@ pub const USAGE: &str = "usage: wrt <command> [args]
 
 commands:
   stats    <circuit>                              circuit statistics
-  analyze  <circuit>                              testability report
+  analyze  <circuit | all> [--lint] [--json]
+           static testability report: SCOAP controllability/observability
+           summary, FFR/reconvergence census, and structural lints.
+           `all` sweeps every built-in workload.  --lint prints findings
+           only and exits nonzero if any lint fires (CI gate); --json
+           emits the machine-readable report.  A .bench file path is
+           additionally linted at the text level (combinational loops,
+           undriven nets) before parsing.
   optimize <circuit> [--grid G] [--confidence C] [--engine E] [--threads T]
            [--seed S] [--mc-patterns N] [--commit-batch K]
+           [--seed-weights uniform|scoap]
            optimized input probabilities;
            E = incremental-cop (default; cone-restricted per-coordinate
            recompute, bit-identical to cop) | cop | stafan | monte-carlo
@@ -25,6 +33,8 @@ commands:
            to K coordinate moves in a pending overlay before
            materializing; K = 0 or 1 commits every move immediately.
            Results are bit-identical for every K.
+           --seed-weights scoap starts the descent at the SCOAP-derived
+           input bias instead of the jittered equiprobable point.
   simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
            [--engine dense|event] [--block-words W]
            weighted-random fault simulation;
@@ -32,7 +42,10 @@ commands:
            over W-word superblocks (--block-words 1|2|4|8, default 4);
            --engine dense is the single-word reference cone walk.
            Coverage is bit-identical for every engine/width/thread choice.
-  atpg     <circuit> [--backtracks B]             deterministic test generation
+  atpg     <circuit> [--backtracks B] [--guidance cop|scoap|unguided]
+           deterministic test generation; --guidance picks the backtrace
+           controllability model (default cop — conclusions are identical
+           either way, only the backtrack spend differs).
   workloads                                       list built-in circuits
 
 <circuit> is a workload name (see `wrt workloads`) or a .bench file path.
@@ -94,6 +107,9 @@ fn experiment_faults(circuit: &Circuit) -> FaultList {
         .collect()
 }
 
+// Infallible, but every subcommand shares the Result signature the
+// dispatcher in `main` expects.
+#[allow(clippy::unnecessary_wraps)]
 pub fn workloads() -> Result<(), String> {
     for name in wrt_workloads::WORKLOAD_NAMES {
         let circuit = wrt_workloads::by_name(name).expect("registered");
@@ -114,29 +130,78 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 }
 
 pub fn analyze(args: &[String]) -> Result<(), String> {
-    let circuit = circuit_arg(args)?;
-    let faults = experiment_faults(&circuit);
-    let probs = vec![0.5; circuit.num_inputs()];
-    let mut engine = CopEngine::new();
-    let estimates = engine.estimate(&circuit, &faults, &probs);
-    let mut order: Vec<usize> = (0..estimates.len()).collect();
-    order.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]));
-    println!("{}", CircuitStats::of(&circuit));
-    println!("{} collapsed, detectable checkpoint faults", faults.len());
-    println!();
-    println!("hardest faults at p = 0.5:");
-    for &k in order.iter().take(10) {
-        let fault = faults.fault(wrt_fault::FaultId::from_index(k));
-        println!("  {:<32} p = {:.3e}", fault.describe(&circuit), estimates[k]);
+    let lint_only = args.iter().any(|a| a == "--lint");
+    let json = args.iter().any(|a| a == "--json");
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| format!("missing circuit argument (or `all`)\n{USAGE}"))?;
+
+    // (name, circuit, text-level findings for .bench files).
+    let mut subjects: Vec<(String, Circuit, Vec<wrt_analyze::Finding>)> = Vec::new();
+    if target == "all" {
+        for name in wrt_workloads::WORKLOAD_NAMES {
+            let circuit = wrt_workloads::by_name(name).expect("registered");
+            subjects.push(((*name).to_string(), circuit, Vec::new()));
+        }
+    } else if let Some(circuit) = wrt_workloads::by_name(target) {
+        subjects.push((target.clone(), circuit, Vec::new()));
+    } else {
+        let text = std::fs::read_to_string(target).map_err(|e| {
+            format!("`{target}` is neither a workload name, `all`, nor a readable file: {e}")
+        })?;
+        // Text-level lints first: they catch loops and undriven nets that
+        // would make parsing fail outright.
+        let text_findings = wrt_analyze::lint_bench_text(&text);
+        match wrt_circuit::parse_bench_named(&text, target) {
+            Ok(circuit) => subjects.push((target.clone(), circuit, text_findings)),
+            Err(e) => {
+                if text_findings.is_empty() {
+                    return Err(format!("parsing `{target}`: {e}"));
+                }
+                for finding in &text_findings {
+                    println!("{finding}");
+                }
+                return Err(format!("{target}: netlist does not parse: {e}"));
+            }
+        }
     }
-    let detectable: Vec<f64> = estimates.iter().copied().filter(|&p| p > 0.0).collect();
-    let tl = required_test_length(&detectable, 1e-3);
-    println!();
-    println!(
-        "conventional random test length (99.9 %): {:.3e} patterns ({} relevant faults)",
-        tl.patterns(),
-        tl.num_relevant()
-    );
+
+    let mut total_findings = 0usize;
+    let mut json_reports = Vec::new();
+    for (name, circuit, text_findings) in &subjects {
+        let report = wrt_analyze::analyze(circuit);
+        total_findings += text_findings.len() + report.findings.len();
+        if lint_only {
+            for finding in text_findings.iter().chain(&report.findings) {
+                println!("{name}: {finding}");
+            }
+        } else if json {
+            json_reports.push(report.to_json());
+        } else {
+            for finding in text_findings {
+                println!("  text: {finding}");
+            }
+            print!("{report}");
+        }
+    }
+    if json && !lint_only {
+        if subjects.len() == 1 {
+            print!("{}", json_reports[0]);
+        } else {
+            println!("[{}]", json_reports.join(", "));
+        }
+    }
+    if lint_only {
+        if total_findings == 0 {
+            println!(
+                "lint clean: {} circuit(s), 0 findings",
+                subjects.len()
+            );
+            return Ok(());
+        }
+        return Err(format!("lint failed: {total_findings} finding(s)"));
+    }
     Ok(())
 }
 
@@ -203,6 +268,15 @@ pub fn optimize(args: &[String]) -> Result<(), String> {
     let config = OptimizeConfig {
         confidence,
         ..OptimizeConfig::default()
+    };
+    let config = match flag_value(args, "--seed-weights") {
+        None | Some("uniform") => config,
+        Some("scoap") => config.scoap_seeded(&circuit),
+        Some(other) => {
+            return Err(format!(
+                "unknown --seed-weights `{other}` (expected uniform or scoap)"
+            ))
+        }
     };
     let mut engine = engine_arg(args)?;
     let result = wrt_core::optimize(&circuit, &faults, engine.as_mut(), &config);
@@ -293,9 +367,20 @@ fn sim_options_arg(args: &[String]) -> Result<SimOptions, String> {
 pub fn atpg(args: &[String]) -> Result<(), String> {
     let circuit = circuit_arg(args)?;
     let backtracks: usize = parse_flag(args, "--backtracks", 10_000)?;
+    let guidance = match flag_value(args, "--guidance") {
+        None | Some("cop") => BacktraceGuidance::Cop,
+        Some("scoap") => BacktraceGuidance::Scoap,
+        Some("unguided") => BacktraceGuidance::Unguided,
+        Some(other) => {
+            return Err(format!(
+                "unknown --guidance `{other}` (expected cop, scoap, or unguided)"
+            ))
+        }
+    };
     let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
     let config = AtpgConfig {
         backtrack_limit: backtracks,
+        guidance,
         ..AtpgConfig::default()
     };
     let report = generate_tests(&circuit, &faults, &config);
@@ -307,9 +392,10 @@ pub fn atpg(args: &[String]) -> Result<(), String> {
         report.aborted.len()
     );
     println!(
-        "{} tests generated with {} PODEM calls (coverage {:.1} %)",
+        "{} tests generated with {} PODEM calls, {} backtracks (coverage {:.1} %)",
         report.tests.len(),
         report.podem_calls,
+        report.backtracks,
         report.coverage() * 100.0
     );
     Ok(())
@@ -320,7 +406,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+        list.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -359,6 +445,50 @@ mod tests {
         assert!(simulate(&args(&["c880ish", "--patterns", "256"])).is_ok());
         assert!(simulate(&args(&["c880ish"])).is_err()); // missing --patterns
         assert!(atpg(&args(&["c880ish"])).is_ok());
+    }
+
+    #[test]
+    fn analyze_modes_run_and_lint_gates() {
+        // Human, JSON, lint, and `all`-sweep modes all run; the registry
+        // is lint-clean so --lint succeeds.
+        assert!(analyze(&args(&["s1"])).is_ok());
+        assert!(analyze(&args(&["s1", "--json"])).is_ok());
+        assert!(analyze(&args(&["s1", "--lint"])).is_ok());
+        assert!(analyze(&args(&["all", "--lint"])).is_ok());
+        assert!(analyze(&args(&[])).is_err());
+        assert!(analyze(&args(&["no-such-circuit"])).is_err());
+    }
+
+    #[test]
+    fn analyze_lint_fails_on_defective_bench_file() {
+        let dir = std::env::temp_dir().join("wrt_cli_lint_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        // Undriven net `ghost`: text-level lint fires and the run fails.
+        let path = dir.join("bad.bench");
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").expect("write");
+        let p = path.to_str().expect("utf8").to_string();
+        assert!(analyze(&[p, "--lint".into()]).is_err());
+        // A clean file passes.
+        let good = dir.join("good.bench");
+        std::fs::write(&good, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").expect("write");
+        let g = good.to_str().expect("utf8").to_string();
+        assert!(analyze(&[g.clone(), "--lint".into()]).is_ok());
+        assert!(analyze(&[g]).is_ok());
+    }
+
+    #[test]
+    fn atpg_guidance_flag() {
+        for g in ["cop", "scoap", "unguided"] {
+            assert!(atpg(&args(&["s1", "--guidance", g])).is_ok(), "--guidance {g}");
+        }
+        assert!(atpg(&args(&["s1", "--guidance", "psychic"])).is_err());
+    }
+
+    #[test]
+    fn optimize_seed_weights_flag() {
+        assert!(optimize(&args(&["s1", "--seed-weights", "scoap"])).is_ok());
+        assert!(optimize(&args(&["s1", "--seed-weights", "uniform"])).is_ok());
+        assert!(optimize(&args(&["s1", "--seed-weights", "psychic"])).is_err());
     }
 
     #[test]

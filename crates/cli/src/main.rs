@@ -3,12 +3,14 @@
 //!
 //! ```text
 //! wrt stats    <netlist.bench | workload>          circuit statistics
-//! wrt analyze  <netlist.bench | workload>          testability report
+//! wrt analyze  <netlist.bench | workload | all> [--lint] [--json]
 //! wrt optimize <netlist.bench | workload> [--grid G] [--confidence C]
 //!              [--engine cop|stafan|monte-carlo] [--threads T]
+//!              [--seed-weights uniform|scoap]
 //! wrt simulate <netlist.bench | workload> --patterns N [--weights w1,w2,…]
 //!              [--threads T]
 //! wrt atpg     <netlist.bench | workload> [--backtracks B]
+//!              [--guidance cop|scoap|unguided]
 //! wrt workloads                                    list built-in circuits
 //! ```
 //!

@@ -47,6 +47,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod minimize;
 mod objective;
 mod optimize;

@@ -72,6 +72,23 @@ impl OptimizeConfig {
     pub fn theta(&self) -> f64 {
         -self.confidence.ln()
     }
+
+    /// Replaces the starting weights with the SCOAP-derived seed
+    /// ([`wrt_analyze::scoap_seed_weights`]): each input starts biased
+    /// toward the non-controlling values its observable sinks want,
+    /// instead of at jittered 0.5.  Opt-in — the descent still converges
+    /// from the default start; the seed just begins it closer to the
+    /// asymmetric optima wide AND/OR structures end up at.
+    pub fn scoap_seeded(mut self, circuit: &Circuit) -> Self {
+        let scoap = wrt_analyze::Scoap::compute(circuit);
+        let (lo, hi) = self.weight_bounds;
+        let seed = wrt_analyze::scoap_seed_weights(circuit, &scoap)
+            .into_iter()
+            .map(|w| w.clamp(lo, hi))
+            .collect();
+        self.starting_weights = Some(seed);
+        self
+    }
 }
 
 /// One record per completed sweep.
@@ -372,6 +389,42 @@ mod tests {
         let result = optimize(&c, &faults, &mut engine, &config);
         assert_eq!(result.weights, vec![0.9; 5]);
         assert!((result.initial_length - result.final_length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoap_seed_populates_starting_weights_within_bounds() {
+        let c = wide_and(12);
+        let config = OptimizeConfig::default().scoap_seeded(&c);
+        let weights = config.starting_weights.as_ref().expect("seed set");
+        assert_eq!(weights.len(), c.num_inputs());
+        let (lo, hi) = config.weight_bounds;
+        assert!(weights.iter().all(|&w| (lo..=hi).contains(&w)));
+        // A wide AND wants each input biased toward 1.
+        assert!(weights.iter().all(|&w| w > 0.5), "{weights:?}");
+    }
+
+    #[test]
+    fn scoap_seed_starts_no_worse_than_it_ends() {
+        // The seeded start must still converge (the descent is free to
+        // move away from it); on the wide AND the seed alone is already
+        // near-optimal, so the initial length beats the 0.5 start's.
+        let c = wide_and(12);
+        let faults = FaultList::checkpoints(&c);
+        let mut engine = CopEngine::new();
+        let seeded = optimize(
+            &c,
+            &faults,
+            &mut engine,
+            &OptimizeConfig::default().scoap_seeded(&c),
+        );
+        let plain = optimize(&c, &faults, &mut engine, &OptimizeConfig::default());
+        assert!(seeded.final_length <= seeded.initial_length + 1e-9);
+        assert!(
+            seeded.initial_length < plain.initial_length,
+            "seeded start {} vs equiprobable start {}",
+            seeded.initial_length,
+            plain.initial_length
+        );
     }
 
     #[test]

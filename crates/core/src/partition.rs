@@ -132,10 +132,9 @@ pub fn optimize_partitioned(
         };
         if covered.is_empty() {
             // Degenerate: serve everything with this set and stop.
-            let probs: Vec<f64> = dprobs.clone();
             parts.push(WeightSet {
                 weights: weights.clone(),
-                test_length: required_test_length(&probs, theta).patterns(),
+                test_length: required_test_length(&dprobs, theta).patterns(),
                 fault_ids: live.iter().map(|&(id, _)| id).collect(),
             });
             break;

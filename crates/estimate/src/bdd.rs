@@ -360,7 +360,7 @@ impl DetectionProbabilityEngine for BddEngine {
                     } else {
                         let lookup = |f: NodeId| -> u32 {
                             // A pin fault replaces one connection only.
-                            faulty.get(&f).copied().unwrap_or(good[f.index()])
+                            faulty.get(&f).copied().unwrap_or_else(|| good[f.index()])
                         };
                         match fault.site {
                             FaultSite::InputPin { gate, pin } if gate == n => {

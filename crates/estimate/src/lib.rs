@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bdd;
 mod cop;
 mod cutting;
@@ -53,6 +55,7 @@ mod engine;
 mod exact;
 mod hybrid;
 mod incremental;
+mod rank;
 mod redundancy;
 mod stafan;
 
@@ -65,5 +68,6 @@ pub use engine::{
 };
 pub use exact::{exact_detection_probability, exact_signal_probability};
 pub use incremental::{IncrementalCop, IncrementalStats};
+pub use rank::spearman;
 pub use redundancy::constant_line_faults;
 pub use stafan::StafanCounts;

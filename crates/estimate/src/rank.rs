@@ -1,0 +1,132 @@
+//! Rank statistics: Spearman correlation between difficulty orderings.
+//!
+//! Used to cross-check the *static* SCOAP fault-difficulty ranking against
+//! the *probabilistic* COP detectability ranking: the two models disagree
+//! in magnitude by construction (integer costs vs probabilities), so
+//! agreement is meaningful only by rank.
+
+/// Spearman rank correlation between two paired samples.
+///
+/// Ties receive fractional (average) ranks, so heavily tied inputs — e.g.
+/// SCOAP costs saturated at a ceiling — are handled without bias.  Returns
+/// a value in `[-1, 1]`; degenerate inputs (fewer than two points, or a
+/// side with zero rank variance) return `0.0` rather than NaN, keeping
+/// downstream JSON artifacts finite.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use wrt_estimate::spearman;
+///
+/// // Perfectly anti-monotone: cost up, probability down.
+/// let cost = [1.0, 2.0, 3.0, 4.0];
+/// let prob = [0.9, 0.5, 0.3, 0.1];
+/// assert!((spearman(&cost, &prob) + 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = fractional_ranks(a);
+    let rb = fractional_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Fractional ranks (1-based; ties share the average of their positions).
+fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        #[allow(clippy::cast_precision_loss)]
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation; `0.0` when either side has zero variance.
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement_is_one() {
+        let a = [1.0, 2.0, 5.0, 9.0];
+        let b = [10.0, 20.0, 21.0, 400.0]; // different scale, same order
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_inversion_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_average_ranks() {
+        let r = fractional_ranks(&[5.0, 1.0, 5.0, 7.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero_not_nan() {
+        assert_eq!(spearman(&[], &[]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        // Constant side: zero variance.
+        assert_eq!(spearman(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_of_monotone_transforms() {
+        let a = [0.1, 0.4, 0.2, 0.9, 0.5];
+        let squashed: Vec<f64> = a.iter().map(|v: &f64| v.powi(3)).collect();
+        assert!((spearman(&a, &squashed) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_is_always_finite_and_clamped() {
+        let a = [1.0, 2.0, 2.0, 2.0, 9.0];
+        let b = [4.0, 4.0, 4.0, 1.0, 0.5];
+        let r = spearman(&a, &b);
+        assert!(r.is_finite());
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

@@ -27,6 +27,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod collapse;
 mod fault;
 mod list;

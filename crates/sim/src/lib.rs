@@ -69,6 +69,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod coverage;
 mod event;
 mod fault_sim;

@@ -20,6 +20,8 @@
 //! assert_eq!(s1.num_outputs(), 3); // A>B, A<B, A=B
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adder_cmp;
 mod alu;
 pub mod cells;

@@ -15,6 +15,9 @@
 //!   self-test sessions;
 //! * [`atpg`] — PODEM deterministic test generation and complete
 //!   redundancy identification (the §5.2 comparator);
+//! * [`analyze`] — simulation-free static analysis: SCOAP testability,
+//!   structural lints, FFR/reconvergence census, and the seeds the
+//!   optimizer and PODEM consume;
 //! * [`workloads`] — the twelve benchmark circuit generators.
 //!
 //! # Quickstart
@@ -34,6 +37,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use wrt_analyze as analyze;
 pub use wrt_atpg as atpg;
 pub use wrt_bist as bist;
 pub use wrt_circuit as circuit;
@@ -45,7 +51,8 @@ pub use wrt_workloads as workloads;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use wrt_atpg::{generate_tests, AtpgConfig, AtpgOutcome, Podem};
+    pub use wrt_analyze::{analyze, lint_circuit, scoap_seed_weights, Scoap};
+    pub use wrt_atpg::{generate_tests, AtpgConfig, AtpgOutcome, BacktraceGuidance, Podem};
     pub use wrt_bist::{Lfsr, Misr, SelfTestSession, WeightedLfsr};
     pub use wrt_circuit::{Circuit, CircuitBuilder, GateKind, NodeId};
     pub use wrt_core::{
