@@ -36,4 +36,7 @@ mod report;
 
 pub use dvalue::{Dv, Tri};
 pub use podem::{AtpgOutcome, Podem};
-pub use report::{generate_tests, AtpgConfig, AtpgReport, BacktraceGuidance};
+pub use report::{
+    generate_tests, generate_tests_budgeted, AtpgConfig, AtpgReport, BacktraceGuidance,
+    BudgetedAtpg, ATPG_CHECKPOINT_KIND,
+};

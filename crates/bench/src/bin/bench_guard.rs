@@ -1,6 +1,6 @@
 //! Benchmark-artifact guard: validates `BENCH_sim.json`,
-//! `BENCH_optimize.json` and `BENCH_analyze.json` so the committed
-//! artifacts cannot silently go stale or corrupt.
+//! `BENCH_optimize.json`, `BENCH_analyze.json` and `BENCH_robust.json`
+//! so the committed artifacts cannot silently go stale or corrupt.
 //!
 //! The bench binaries assert their own invariants at generation time,
 //! but the *committed* artifacts are edited, rebased and merged like any
@@ -16,7 +16,10 @@
 //! * wherever an artifact records a `guided_backtracks` /
 //!   `unguided_backtracks` pair, guided must not exceed unguided — a
 //!   committed artifact claiming SCOAP guidance made PODEM *worse* on
-//!   the tracked set is a regression, not a measurement.
+//!   the tracked set is a regression, not a measurement;
+//! * every `"unrecovered"` field (the chaos sweep's silent-result-loss
+//!   counter in `BENCH_robust.json`) must be exactly `0` — an artifact
+//!   recording an unrecovered fail-point injection fails the build.
 //!
 //! Run with `cargo run --release -p wrt-bench --bin bench_guard --
 //! [FILE ...]`; with no arguments it checks the two default artifacts in
@@ -141,6 +144,13 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
             }
             continue;
         }
+        if v.key == "unrecovered" && v.value.parse::<f64>() != Ok(0.0) {
+            violations.push(format!(
+                "{path}:{}: \"unrecovered\" is `{}` — a recorded unrecovered fail-point injection",
+                v.line, v.value
+            ));
+            continue;
+        }
         match v.value.as_str() {
             "true" | "false" | "null" => {}
             token => match token.parse::<f64>() {
@@ -187,6 +197,7 @@ fn main() -> ExitCode {
             "BENCH_sim.json".into(),
             "BENCH_optimize.json".into(),
             "BENCH_analyze.json".into(),
+            "BENCH_robust.json".into(),
         ]
     } else {
         args
@@ -276,10 +287,29 @@ mod tests {
     }
 
     #[test]
+    fn unrecovered_injections_are_flagged() {
+        let ok = "{ \"unrecovered\": 0, \"bit_identical\": true, \"x\": 1.0 }";
+        assert!(check_artifact("x.json", ok).is_empty());
+        for bad in ["1", "3.0", "NaN"] {
+            let text = format!(
+                "{{ \"unrecovered\": {bad}, \"bit_identical\": true, \"x\": 1.0 }}"
+            );
+            let v = check_artifact("x.json", &text);
+            assert_eq!(v.len(), 1, "value {bad}: {v:?}");
+            assert!(v[0].contains("unrecovered"), "value {bad}");
+        }
+    }
+
+    #[test]
     fn committed_artifacts_are_clean() {
         // The repository's own artifacts must satisfy the guard; the
         // test runs from the crate directory, so walk up to the root.
-        for name in ["BENCH_sim.json", "BENCH_optimize.json", "BENCH_analyze.json"] {
+        for name in [
+            "BENCH_sim.json",
+            "BENCH_optimize.json",
+            "BENCH_analyze.json",
+            "BENCH_robust.json",
+        ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
                 .join(name);

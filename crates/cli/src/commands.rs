@@ -1,14 +1,18 @@
 //! Subcommand implementations.
 
-use wrt_atpg::{generate_tests, AtpgConfig, BacktraceGuidance};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use wrt_atpg::{generate_tests_budgeted, AtpgConfig, BacktraceGuidance, ATPG_CHECKPOINT_KIND};
 use wrt_circuit::{Circuit, CircuitStats};
-use wrt_core::{quantize_weights, OptimizeConfig};
+use wrt_core::{optimize_budgeted, quantize_weights, OptimizeConfig, OPTIMIZE_CHECKPOINT_KIND};
 use wrt_estimate::{
     constant_line_faults, CopEngine, DetectionProbabilityEngine, IncrementalCop,
     MonteCarloEngine, StafanEngine,
 };
 use wrt_fault::FaultList;
-use wrt_sim::{fault_coverage_sharded_opts, SimEngineKind, SimOptions, WeightedPatterns};
+use wrt_robust::{Budget, BudgetExceeded, Checkpoint, Progress, RunOutcome};
+use wrt_sim::{fault_coverage_robust, SimEngineKind, SimOptions, WeightedPatterns};
 
 pub const USAGE: &str = "usage: wrt <command> [args]
 
@@ -25,6 +29,7 @@ commands:
   optimize <circuit> [--grid G] [--confidence C] [--engine E] [--threads T]
            [--seed S] [--mc-patterns N] [--commit-batch K]
            [--seed-weights uniform|scoap]
+           [--time-limit SECS] [--max-evals N] [--checkpoint F] [--resume F]
            optimized input probabilities;
            E = incremental-cop (default; cone-restricted per-coordinate
            recompute, bit-identical to cop) | cop | stafan | monte-carlo
@@ -37,21 +42,35 @@ commands:
            input bias instead of the jittered equiprobable point.
   simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
            [--engine dense|event] [--block-words W]
+           [--time-limit SECS] [--max-evals N]
            weighted-random fault simulation;
            --engine event (default) runs event-driven sparse propagation
            over W-word superblocks (--block-words 1|2|4|8, default 4);
            --engine dense is the single-word reference cone walk.
            Coverage is bit-identical for every engine/width/thread choice.
   atpg     <circuit> [--backtracks B] [--guidance cop|scoap|unguided]
+           [--degrade] [--time-limit SECS] [--max-evals N]
+           [--max-backtracks-total N] [--checkpoint F] [--resume F]
            deterministic test generation; --guidance picks the backtrace
            controllability model (default cop — conclusions are identical
-           either way, only the backtrack spend differs).
+           either way, only the backtrack spend differs).  --degrade
+           retries guided aborts once with the unguided backtrace.
   workloads                                       list built-in circuits
 
 <circuit> is a workload name (see `wrt workloads`) or a .bench file path.
 --threads T runs PPSFP fault simulation on T sharded worker threads
 (default: auto; results are identical for any T).  For optimize it
-requires --engine monte-carlo, the engine that fault-simulates.";
+requires --engine monte-carlo, the engine that fault-simulates.
+
+budgets: --time-limit SECS (wall clock, fractional ok) and --max-evals N
+bound a run; --max-backtracks-total N additionally bounds atpg.  The
+eval unit is deterministic per command: simulate counts gate evaluations
+of fault-free simulation (node count × patterns), optimize counts engine
+calls, atpg counts PODEM calls.  A tripped budget is not an error: the
+partial result is reported, and optimize/atpg write their resume state
+to the --checkpoint file (default: the --resume path).  --resume F
+continues bit-identically from a checkpoint; a missing, corrupt, or
+version-mismatched file is a clean error — garbage is never loaded.";
 
 fn load_circuit(arg: &str) -> Result<Circuit, String> {
     if let Some(circuit) = wrt_workloads::by_name(arg) {
@@ -94,6 +113,84 @@ fn is_flag_value(args: &[String], candidate: &String) -> bool {
     args.iter()
         .position(|a| std::ptr::eq(a, candidate))
         .is_some_and(|i| i > 0 && args[i - 1].starts_with("--"))
+}
+
+/// Parses the shared budget flags.  `allow_backtracks` gates
+/// `--max-backtracks-total`, which only the atpg search can honor.
+fn budget_arg(args: &[String], allow_backtracks: bool) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(raw) = flag_value(args, "--time-limit") {
+        let secs: f64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --time-limit"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err("--time-limit is a non-negative number of seconds".into());
+        }
+        budget = budget.with_time_limit(Duration::from_secs_f64(secs));
+    }
+    if let Some(raw) = flag_value(args, "--max-evals") {
+        let max: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --max-evals"))?;
+        budget = budget.with_max_evals(max);
+    }
+    if let Some(raw) = flag_value(args, "--max-backtracks-total") {
+        if !allow_backtracks {
+            return Err("--max-backtracks-total only applies to atpg".into());
+        }
+        let max: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --max-backtracks-total"))?;
+        budget = budget.with_max_backtracks(max);
+    }
+    Ok(budget)
+}
+
+/// Loads the `--resume` checkpoint of the given subsystem kind.
+/// Missing, corrupt, truncated, version-mismatched, and foreign-kind
+/// files are all clean errors; damaged state is never deserialized.
+fn resume_arg(args: &[String], kind: &str) -> Result<Option<Checkpoint>, String> {
+    match flag_value(args, "--resume") {
+        None => Ok(None),
+        Some(path) => Checkpoint::read(Path::new(path), kind)
+            .map(Some)
+            .map_err(|e| format!("cannot resume from `{path}`: {e}")),
+    }
+}
+
+/// Where an interrupted run should write its resume state: the
+/// `--checkpoint` path, or (so a crash-loop workflow needs one flag) the
+/// `--resume` path it was loaded from.
+fn checkpoint_path_arg(args: &[String]) -> Option<PathBuf> {
+    flag_value(args, "--checkpoint")
+        .or_else(|| flag_value(args, "--resume"))
+        .map(PathBuf::from)
+}
+
+fn report_interrupt(what: &str, reason: BudgetExceeded, progress: &Progress) {
+    let total = progress
+        .total
+        .map_or_else(String::new, |t| format!(" of {t}"));
+    println!(
+        "{what} interrupted ({reason}) after {}{total} {}",
+        progress.done, progress.unit
+    );
+}
+
+/// Persists an interrupted run's checkpoint, or says why it cannot.
+fn write_checkpoint(ckpt: &Checkpoint, path: Option<&PathBuf>) -> Result<(), String> {
+    match path {
+        None => {
+            println!("no --checkpoint path given; resume state discarded");
+            Ok(())
+        }
+        Some(p) => {
+            ckpt.write_atomic(p)
+                .map_err(|e| format!("writing checkpoint: {e}"))?;
+            println!("resume state written to `{}` (pass --resume to continue)", p.display());
+            Ok(())
+        }
+    }
 }
 
 fn experiment_faults(circuit: &Circuit) -> FaultList {
@@ -279,7 +376,30 @@ pub fn optimize(args: &[String]) -> Result<(), String> {
         }
     };
     let mut engine = engine_arg(args)?;
-    let result = wrt_core::optimize(&circuit, &faults, engine.as_mut(), &config);
+    let budget = budget_arg(args, false)?;
+    let resume = resume_arg(args, OPTIMIZE_CHECKPOINT_KIND)?;
+    let run = optimize_budgeted(
+        &circuit,
+        &faults,
+        engine.as_mut(),
+        &config,
+        &budget,
+        resume.as_ref(),
+    )
+    .map_err(|e| format!("cannot resume: {e}"))?;
+    let result = match run.outcome {
+        RunOutcome::Complete(result) => result,
+        RunOutcome::Interrupted {
+            partial,
+            reason,
+            progress,
+        } => {
+            report_interrupt("optimization", reason, &progress);
+            let ckpt = run.checkpoint.as_ref().expect("interrupted runs checkpoint");
+            write_checkpoint(ckpt, checkpoint_path_arg(args).as_ref())?;
+            partial
+        }
+    };
     println!(
         "test length: {:.3e} -> {:.3e}  (factor {:.1}, {} sweeps, {} engine calls)",
         result.initial_length,
@@ -320,8 +440,9 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     };
     let threads: usize = parse_flag(args, "--threads", 0)?;
     let opts = sim_options_arg(args)?;
+    let budget = budget_arg(args, false)?;
     let faults = experiment_faults(&circuit);
-    let (result, stats) = fault_coverage_sharded_opts(
+    let outcome = fault_coverage_robust(
         &circuit,
         &faults,
         WeightedPatterns::new(weights, seed),
@@ -329,16 +450,37 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         true,
         threads,
         opts,
+        &budget,
     );
-    println!("{result}");
-    let detected = result.num_detected();
+    let robust = match outcome {
+        RunOutcome::Complete(robust) => robust,
+        RunOutcome::Interrupted {
+            partial,
+            reason,
+            progress,
+        } => {
+            report_interrupt("simulation", reason, &progress);
+            partial
+        }
+    };
+    println!("{}", robust.result);
+    if !robust.recovery.is_clean() {
+        println!(
+            "shard recovery: {} worker panic(s), {} replay(s), {} unresolved — {}",
+            robust.recovery.worker_panics,
+            robust.recovery.replays,
+            robust.recovery.unresolved.len(),
+            robust.recovery.ladder,
+        );
+    }
+    let detected = robust.result.num_detected();
     if detected > 0 {
         println!(
             "engine {}: {} gate evals ({:.1} per detected fault, {:.1} % frontier die-out)",
             opts.engine,
-            stats.node_evals,
-            stats.node_evals as f64 / detected as f64,
-            stats.frontier_dieout_rate() * 100.0,
+            robust.stats.node_evals,
+            robust.stats.node_evals as f64 / detected as f64,
+            robust.stats.frontier_dieout_rate() * 100.0,
         );
     }
     Ok(())
@@ -381,15 +523,33 @@ pub fn atpg(args: &[String]) -> Result<(), String> {
     let config = AtpgConfig {
         backtrack_limit: backtracks,
         guidance,
+        degrade_on_abort: args.iter().any(|a| a == "--degrade"),
         ..AtpgConfig::default()
     };
-    let report = generate_tests(&circuit, &faults, &config);
+    let budget = budget_arg(args, true)?;
+    let resume = resume_arg(args, ATPG_CHECKPOINT_KIND)?;
+    let run = generate_tests_budgeted(&circuit, &faults, &config, &budget, resume.as_ref())
+        .map_err(|e| format!("cannot resume: {e}"))?;
+    let report = match run.outcome {
+        RunOutcome::Complete(report) => report,
+        RunOutcome::Interrupted {
+            partial,
+            reason,
+            progress,
+        } => {
+            report_interrupt("atpg", reason, &progress);
+            let ckpt = run.checkpoint.as_ref().expect("interrupted runs checkpoint");
+            write_checkpoint(ckpt, checkpoint_path_arg(args).as_ref())?;
+            partial
+        }
+    };
     println!(
-        "{} faults: {} detected, {} redundant, {} aborted",
+        "{} faults: {} detected, {} redundant, {} aborted, {} not attempted",
         faults.len(),
         report.detected.len(),
         report.redundant.len(),
-        report.aborted.len()
+        report.aborted.len(),
+        report.survivors.len()
     );
     println!(
         "{} tests generated with {} PODEM calls, {} backtracks (coverage {:.1} %)",
@@ -398,6 +558,9 @@ pub fn atpg(args: &[String]) -> Result<(), String> {
         report.backtracks,
         report.coverage() * 100.0
     );
+    if !run.ladder.is_empty() {
+        println!("degradation: {}", run.ladder);
+    }
     Ok(())
 }
 
@@ -581,6 +744,115 @@ mod tests {
         assert!(
             engine_arg(&args(&["--engine", "stafan", "--commit-batch", "2"])).is_err()
         );
+    }
+
+    #[test]
+    fn time_limit_zero_interrupts_cleanly_everywhere() {
+        // A zero wall-clock budget trips at the first check-in: the run
+        // reports an interruption and exits cleanly — never a hang, a
+        // panic, or a garbage result.
+        let a = args(&["c880ish", "--patterns", "4096", "--time-limit", "0"]);
+        assert!(simulate(&a).is_ok());
+        assert!(atpg(&args(&["s1", "--time-limit", "0"])).is_ok());
+        // Malformed limits are clean errors.
+        assert!(simulate(&args(&["s1", "--patterns", "64", "--time-limit", "-1"])).is_err());
+        assert!(simulate(&args(&["s1", "--patterns", "64", "--time-limit", "soon"])).is_err());
+    }
+
+    #[test]
+    fn max_evals_smaller_than_one_block_is_an_empty_run_not_a_crash() {
+        // One pattern of c880ish costs ~num_nodes evals; a 1-eval budget
+        // resolves to a zero-pattern clip — reported as an interruption
+        // with an empty (but well-formed) coverage result.
+        let a = args(&["c880ish", "--patterns", "4096", "--max-evals", "1"]);
+        assert!(simulate(&a).is_ok());
+    }
+
+    #[test]
+    fn backtrack_budget_is_atpg_only() {
+        let a = args(&["s1", "--patterns", "64", "--max-backtracks-total", "5"]);
+        assert!(simulate(&a).is_err());
+        assert!(atpg(&args(&["s1", "--max-backtracks-total", "100000"])).is_ok());
+    }
+
+    #[test]
+    fn atpg_degrade_flag_runs() {
+        assert!(atpg(&args(&["s1", "--degrade"])).is_ok());
+    }
+
+    #[test]
+    fn resume_from_missing_corrupt_or_foreign_checkpoint_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("wrt_cli_resume_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+
+        // Missing file.
+        let missing = dir.join("never-written.ckpt");
+        let m = missing.to_str().expect("utf8").to_string();
+        let err = optimize(&args(&["s1", "--resume", &m])).unwrap_err();
+        assert!(err.contains("cannot resume"), "{err}");
+
+        // Corrupt file (tampered checksum): never deserialized.
+        let corrupt = dir.join("corrupt.ckpt");
+        let mut c = Checkpoint::new(OPTIMIZE_CHECKPOINT_KIND);
+        c.put("fingerprint", "0000000000000000");
+        let tampered = c
+            .render()
+            .replace("fingerprint=0000", "fingerprint=1111");
+        std::fs::write(&corrupt, tampered).expect("write");
+        let p = corrupt.to_str().expect("utf8").to_string();
+        let err = optimize(&args(&["s1", "--resume", &p])).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+
+        // Version from the future: reported, not guessed at.
+        let future = dir.join("future.ckpt");
+        std::fs::write(&future, "wrt-checkpoint v99\nkind=atpg\n").expect("write");
+        let p = future.to_str().expect("utf8").to_string();
+        let err = atpg(&args(&["s1", "--resume", &p])).unwrap_err();
+        assert!(err.contains("v99") && err.contains("not supported"), "{err}");
+
+        // A checkpoint of the other subsystem.
+        let foreign = dir.join("foreign.ckpt");
+        let mut c = Checkpoint::new(ATPG_CHECKPOINT_KIND);
+        c.put("fingerprint", "0000000000000000");
+        c.write_atomic(&foreign).expect("write");
+        let p = foreign.to_str().expect("utf8").to_string();
+        let err = optimize(&args(&["s1", "--resume", &p])).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn interrupted_optimize_writes_a_checkpoint_that_resumes() {
+        let dir = std::env::temp_dir().join("wrt_cli_ckpt_roundtrip");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("opt.ckpt");
+        let p = ckpt.to_str().expect("utf8").to_string();
+        let _ = std::fs::remove_file(&ckpt);
+
+        // A 1-engine-call budget trips right after the initial ANALYSIS.
+        let interrupted = args(&["s1", "--max-evals", "1", "--checkpoint", &p]);
+        assert!(optimize(&interrupted).is_ok());
+        assert!(ckpt.exists(), "interruption must persist resume state");
+
+        // Resuming with the same inputs completes.
+        assert!(optimize(&args(&["s1", "--resume", &p])).is_ok());
+
+        // Resuming under a different config is refused via fingerprint.
+        let err = optimize(&args(&["s1", "--confidence", "0.9", "--resume", &p])).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn interrupted_atpg_writes_a_checkpoint_that_resumes() {
+        let dir = std::env::temp_dir().join("wrt_cli_atpg_ckpt");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("atpg.ckpt");
+        let p = ckpt.to_str().expect("utf8").to_string();
+        let _ = std::fs::remove_file(&ckpt);
+
+        let interrupted = args(&["s1", "--max-evals", "2", "--checkpoint", &p]);
+        assert!(atpg(&interrupted).is_ok());
+        assert!(ckpt.exists(), "interruption must persist resume state");
+        assert!(atpg(&args(&["s1", "--resume", &p])).is_ok());
     }
 
     #[test]

@@ -58,7 +58,10 @@ mod test_length;
 
 pub use minimize::{minimize_coordinate, CoordinateProblem};
 pub use objective::{confidence, log_confidence, objective_value};
-pub use optimize::{optimize, OptimizeConfig, OptimizeResult, SweepRecord};
+pub use optimize::{
+    optimize, optimize_budgeted, BudgetedOptimize, OptimizeConfig, OptimizeResult, SweepRecord,
+    OPTIMIZE_CHECKPOINT_KIND,
+};
 pub use partition::{optimize_partitioned, PartitionedResult, WeightSet};
 pub use quantize::quantize_weights;
 pub use test_length::{required_test_length, sort_by_difficulty, TestLength};

@@ -1,8 +1,19 @@
 //! `OPTIMIZE`: coordinate descent over all input probabilities (paper §4).
+//!
+//! The descent is exposed in two forms: [`optimize`], the original
+//! run-to-completion entry point, and [`optimize_budgeted`], which bounds
+//! the run with a [`Budget`] (checked at sweep boundaries), carries
+//! partial results out as [`RunOutcome::Interrupted`], and supports
+//! checkpoint/resume — the descent state at the last completed sweep is
+//! serialized to a versioned [`Checkpoint`], and a resumed run continues
+//! bit-identically to an uninterrupted one (the engine answers are
+//! value-identical across engine instances, a property the incremental
+//! estimator test suite pins down).
 
 use wrt_circuit::Circuit;
 use wrt_estimate::DetectionProbabilityEngine;
 use wrt_fault::{Fault, FaultId, FaultList};
+use wrt_robust::{Budget, BudgetExceeded, Checkpoint, CheckpointError, Progress, RunOutcome};
 
 use crate::minimize::{minimize_coordinate, CoordinateProblem};
 use crate::test_length::{required_test_length, sort_by_difficulty, TestLength};
@@ -154,13 +165,47 @@ pub fn optimize(
     engine: &mut dyn DetectionProbabilityEngine,
     config: &OptimizeConfig,
 ) -> OptimizeResult {
+    match init_descent(circuit, faults, engine, config) {
+        Err(hopeless) => hopeless,
+        Ok((mut descent, live_list)) => {
+            run_sweeps(circuit, &live_list, engine, config, &mut descent, None);
+            descent.into_result()
+        }
+    }
+}
+
+/// The full mutable state of the coordinate descent at a sweep boundary —
+/// everything a checkpoint must capture for a bit-identical resume.
+struct Descent {
+    weights: Vec<f64>,
+    best_weights: Vec<f64>,
+    best_length: f64,
+    n_current: f64,
+    num_relevant: usize,
+    stale_sweeps: usize,
+    engine_calls: usize,
+    initial_length: f64,
+    sweeps: Vec<SweepRecord>,
+    excluded: Vec<FaultId>,
+    dprobs: Vec<f64>,
+}
+
+/// Runs the initial ANALYSIS and builds the starting descent state plus
+/// the live (detectable) fault list.  `Err` carries the early return for
+/// the hopeless case (some fault undetectable at the interior start).
+fn init_descent(
+    circuit: &Circuit,
+    faults: &FaultList,
+    engine: &mut dyn DetectionProbabilityEngine,
+    config: &OptimizeConfig,
+) -> Result<(Descent, FaultList), OptimizeResult> {
     assert!(
         config.confidence > 0.0 && config.confidence < 1.0,
         "confidence must be in (0, 1)"
     );
     let theta = config.theta();
     let num_inputs = circuit.num_inputs();
-    let mut weights = match &config.starting_weights {
+    let weights = match &config.starting_weights {
         Some(w) => {
             assert_eq!(w.len(), num_inputs, "one starting weight per input");
             w.clone()
@@ -169,7 +214,6 @@ pub fn optimize(
             .map(|i| 0.5 + config.jitter * jitter_sign(i))
             .collect(),
     };
-    let (lo, hi) = config.weight_bounds;
     let mut engine_calls = 0usize;
 
     // Initial ANALYSIS: identify undetectable faults and the baseline N.
@@ -185,40 +229,66 @@ pub fn optimize(
         }
     }
     let live_list: FaultList = live.iter().map(|&(_, f)| f).collect();
-    let mut dprobs: Vec<f64> = faults
-        .iter()
-        .zip(&initial_probs)
-        .filter(|((_, _), &p)| p > 0.0)
-        .map(|(_, &p)| p)
-        .collect();
+    let dprobs: Vec<f64> = initial_probs.iter().copied().filter(|&p| p > 0.0).collect();
 
     let initial = required_test_length(&dprobs, theta);
     let initial_length = initial.patterns();
-    let mut best_weights = weights.clone();
-    let mut best_length = initial_length;
-    let mut n_current = match initial {
+    let n_current = match initial {
         TestLength::Patterns { n, .. } => n,
         TestLength::Infinite => {
             // Nothing the optimizer can do: every fault list member is
             // undetectable under the interior starting point.
-            return OptimizeResult {
+            return Err(OptimizeResult {
                 weights,
                 initial_length,
                 final_length: initial_length,
                 sweeps: Vec::new(),
                 excluded,
                 engine_calls,
-            };
+            });
         }
     };
-    let mut num_relevant = initial.num_relevant();
-    let mut sweeps = Vec::new();
-    let mut stale_sweeps = 0usize;
+    let descent = Descent {
+        best_weights: weights.clone(),
+        weights,
+        best_length: initial_length,
+        n_current,
+        num_relevant: initial.num_relevant(),
+        stale_sweeps: 0,
+        engine_calls,
+        initial_length,
+        sweeps: Vec::new(),
+        excluded,
+        dprobs,
+    };
+    Ok((descent, live_list))
+}
 
-    for _sweep in 0..config.max_sweeps {
+/// Runs coordinate-descent sweeps until the config's termination
+/// criterion — or, when a budget is given, until a check-in at a sweep
+/// boundary trips (the tripped axis is returned; the descent state is
+/// left at the last completed sweep).  The optimizer's eval unit is
+/// engine calls.
+fn run_sweeps(
+    circuit: &Circuit,
+    live_list: &FaultList,
+    engine: &mut dyn DetectionProbabilityEngine,
+    config: &OptimizeConfig,
+    d: &mut Descent,
+    budget: Option<&Budget>,
+) -> Option<BudgetExceeded> {
+    let theta = config.theta();
+    let num_inputs = circuit.num_inputs();
+    let (lo, hi) = config.weight_bounds;
+    while d.sweeps.len() < config.max_sweeps {
+        if let Some(budget) = budget {
+            if let Err(reason) = budget.check_in(d.engine_calls as u64, 0) {
+                return Some(reason);
+            }
+        }
         // Relevant subset: hardest `nf + slack` faults at the current X.
-        let order = sort_by_difficulty(&dprobs);
-        let take = (num_relevant + config.relevant_slack).min(order.len());
+        let order = sort_by_difficulty(&d.dprobs);
+        let take = (d.num_relevant + config.relevant_slack).min(order.len());
         let relevant_ids: Vec<usize> = order[..take].to_vec();
         let relevant_list: FaultList = relevant_ids
             .iter()
@@ -231,14 +301,15 @@ pub fn optimize(
             // Monte-Carlo simulator) can reuse their fan-out machinery and
             // incremental engines (IncrementalCop) can restrict the work
             // to input i's fanout cone.
-            let saved = weights[i];
+            let saved = d.weights[i];
             let (p0, p1) =
-                engine.estimate_coordinate_pair(circuit, &relevant_list, &weights, i);
-            engine_calls += 2;
+                engine.estimate_coordinate_pair(circuit, &relevant_list, &d.weights, i);
+            d.engine_calls += 2;
             // MINIMIZE (with optional under-relaxation).
-            let problem = CoordinateProblem::new(p0, p1, n_current);
+            let problem = CoordinateProblem::new(p0, p1, d.n_current);
             let optimum = minimize_coordinate(&problem, saved, lo, hi);
-            weights[i] = saved + config.damping.clamp(f64::MIN_POSITIVE, 1.0) * (optimum - saved);
+            d.weights[i] =
+                saved + config.damping.clamp(f64::MIN_POSITIVE, 1.0) * (optimum - saved);
         }
 
         // ANALYSIS + SORT + NORMALIZE at the new X.
@@ -249,13 +320,13 @@ pub fn optimize(
         // s-a-1 activation exactly 0).  Clamp to a representable floor so
         // the sweep records a huge-but-finite length and the descent can
         // recover instead of aborting.
-        let probs = engine.estimate(circuit, &live_list, &weights);
-        engine_calls += 1;
-        dprobs = probs.into_iter().map(|p| p.max(1e-300)).collect();
-        let sweep_length = match required_test_length(&dprobs, theta) {
+        let probs = engine.estimate(circuit, live_list, &d.weights);
+        d.engine_calls += 1;
+        d.dprobs = probs.into_iter().map(|p| p.max(1e-300)).collect();
+        let sweep_length = match required_test_length(&d.dprobs, theta) {
             TestLength::Patterns { n, num_relevant: nf } => {
-                n_current = n;
-                num_relevant = nf;
+                d.n_current = n;
+                d.num_relevant = nf;
                 n
             }
             // Beyond NORMALIZE's search range (> 10^18 patterns): a wild
@@ -263,33 +334,258 @@ pub fn optimize(
             // the patience counter decide.
             TestLength::Infinite => f64::INFINITY,
         };
-        sweeps.push(SweepRecord {
+        d.sweeps.push(SweepRecord {
             test_length: sweep_length,
-            num_relevant,
+            num_relevant: d.num_relevant,
         });
-        if sweep_length < best_length * (1.0 - config.min_improvement) {
-            stale_sweeps = 0;
+        if sweep_length < d.best_length * (1.0 - config.min_improvement) {
+            d.stale_sweeps = 0;
         } else {
-            stale_sweeps += 1;
+            d.stale_sweeps += 1;
         }
-        if sweep_length < best_length {
-            best_length = sweep_length;
-            best_weights = weights.clone();
+        if sweep_length < d.best_length {
+            d.best_length = sweep_length;
+            d.best_weights = d.weights.clone();
         }
         // Termination: too many sweeps without material improvement of
         // the best test length (the paper's α criterion, with patience).
-        if stale_sweeps > config.patience {
+        if d.stale_sweeps > config.patience {
             break;
         }
     }
+    None
+}
 
-    OptimizeResult {
-        weights: best_weights,
-        initial_length,
-        final_length: best_length,
-        sweeps,
-        excluded,
-        engine_calls,
+impl Descent {
+    fn into_result(self) -> OptimizeResult {
+        OptimizeResult {
+            weights: self.best_weights,
+            initial_length: self.initial_length,
+            final_length: self.best_length,
+            sweeps: self.sweeps,
+            excluded: self.excluded,
+            engine_calls: self.engine_calls,
+        }
+    }
+
+    /// Serializes the state at the current sweep boundary.
+    fn to_checkpoint(&self, fingerprint: u64) -> Checkpoint {
+        let mut c = Checkpoint::new(OPTIMIZE_CHECKPOINT_KIND);
+        c.put("fingerprint", format!("{fingerprint:016x}"));
+        c.put("num_inputs", self.weights.len());
+        c.put_f64_slice_bits("weights", &self.weights);
+        c.put_f64_slice_bits("best_weights", &self.best_weights);
+        c.put_f64_bits("best_length", self.best_length);
+        c.put_f64_bits("n_current", self.n_current);
+        c.put_f64_bits("initial_length", self.initial_length);
+        c.put("num_relevant", self.num_relevant);
+        c.put("stale_sweeps", self.stale_sweeps);
+        c.put("engine_calls", self.engine_calls);
+        let lengths: Vec<f64> = self.sweeps.iter().map(|s| s.test_length).collect();
+        let relevants: Vec<u64> = self.sweeps.iter().map(|s| s.num_relevant as u64).collect();
+        c.put_f64_slice_bits("sweep_lengths", &lengths);
+        c.put_u64_slice("sweep_relevants", &relevants);
+        let excluded: Vec<u64> = self.excluded.iter().map(|id| id.index() as u64).collect();
+        c.put_u64_slice("excluded", &excluded);
+        c.put_f64_slice_bits("dprobs", &self.dprobs);
+        c
+    }
+
+    /// Rebuilds the state from a checkpoint written by
+    /// [`Descent::to_checkpoint`], validating the run fingerprint.
+    fn from_checkpoint(
+        ckpt: &Checkpoint,
+        num_inputs: usize,
+        fingerprint: u64,
+    ) -> Result<Descent, CheckpointError> {
+        let recorded = ckpt.get("fingerprint")?;
+        if recorded != format!("{fingerprint:016x}") {
+            return Err(CheckpointError::Corrupt {
+                reason: format!(
+                    "checkpoint fingerprint {recorded} does not match this circuit/fault-list/\
+                     config combination ({fingerprint:016x}); resume must use the original inputs"
+                ),
+            });
+        }
+        let stored_inputs: usize = ckpt.get_parse("num_inputs")?;
+        if stored_inputs != num_inputs {
+            return Err(CheckpointError::Corrupt {
+                reason: format!(
+                    "checkpoint is for a {stored_inputs}-input circuit, got {num_inputs}"
+                ),
+            });
+        }
+        let lengths = ckpt.get_f64_slice_bits("sweep_lengths")?;
+        let relevants = ckpt.get_u64_slice("sweep_relevants")?;
+        if lengths.len() != relevants.len() {
+            return Err(CheckpointError::Corrupt {
+                reason: "sweep history lengths disagree".to_string(),
+            });
+        }
+        let sweeps = lengths
+            .into_iter()
+            .zip(relevants)
+            .map(|(test_length, nf)| SweepRecord {
+                test_length,
+                num_relevant: nf as usize,
+            })
+            .collect();
+        Ok(Descent {
+            weights: ckpt.get_f64_slice_bits("weights")?,
+            best_weights: ckpt.get_f64_slice_bits("best_weights")?,
+            best_length: ckpt.get_f64_bits("best_length")?,
+            n_current: ckpt.get_f64_bits("n_current")?,
+            num_relevant: ckpt.get_parse("num_relevant")?,
+            stale_sweeps: ckpt.get_parse("stale_sweeps")?,
+            engine_calls: ckpt.get_parse("engine_calls")?,
+            initial_length: ckpt.get_f64_bits("initial_length")?,
+            sweeps,
+            excluded: ckpt
+                .get_u64_slice("excluded")?
+                .into_iter()
+                .map(|i| FaultId::from_index(i as usize))
+                .collect(),
+            dprobs: ckpt.get_f64_slice_bits("dprobs")?,
+        })
+    }
+}
+
+/// The checkpoint `kind` tag of optimizer descent state.
+pub const OPTIMIZE_CHECKPOINT_KIND: &str = "optimize";
+
+/// Fingerprint of everything a resume must hold fixed: circuit shape,
+/// fault list, and the full optimizer configuration.  FNV-1a over a
+/// canonical rendering; float fields hash by bit pattern.
+fn run_fingerprint(circuit: &Circuit, faults: &FaultList, config: &OptimizeConfig) -> u64 {
+    let mut text = format!(
+        "inputs={} nodes={} faults={} confidence={:016x} min_improvement={:016x} \
+         max_sweeps={} patience={} lo={:016x} hi={:016x} slack={} damping={:016x} \
+         jitter={:016x}",
+        circuit.num_inputs(),
+        circuit.num_nodes(),
+        faults.len(),
+        config.confidence.to_bits(),
+        config.min_improvement.to_bits(),
+        config.max_sweeps,
+        config.patience,
+        config.weight_bounds.0.to_bits(),
+        config.weight_bounds.1.to_bits(),
+        config.relevant_slack,
+        config.damping.to_bits(),
+        config.jitter.to_bits(),
+    );
+    if let Some(w) = &config.starting_weights {
+        for x in w {
+            text.push_str(&format!(" {:016x}", x.to_bits()));
+        }
+    }
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A budgeted optimizer run: the (possibly partial) result, plus — when
+/// the run was interrupted — the descent checkpoint to persist for
+/// `--resume`.
+#[derive(Debug)]
+pub struct BudgetedOptimize {
+    /// The descent outcome; `Interrupted` carries the best-so-far result.
+    pub outcome: RunOutcome<OptimizeResult>,
+    /// Resume state at the last completed sweep (`Some` iff interrupted).
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// [`optimize`] under a [`Budget`], with checkpoint/resume.
+///
+/// The budget is checked at sweep boundaries; its eval axis counts
+/// *engine calls* (the optimizer's canonical work unit, machine- and
+/// engine-independent).  On interruption the outcome carries the best
+/// result over the completed sweeps plus a checkpoint of the descent
+/// state; passing that checkpoint back as `resume` continues the descent
+/// bit-identically to a run that was never interrupted.
+///
+/// # Errors
+///
+/// [`CheckpointError`] when `resume` does not validate against this
+/// circuit/fault-list/config combination (wrong kind, wrong fingerprint,
+/// or damaged fields).  The run performs no work in that case.
+///
+/// # Panics
+///
+/// As [`optimize`] (bad confidence or starting-weight length).
+pub fn optimize_budgeted(
+    circuit: &Circuit,
+    faults: &FaultList,
+    engine: &mut dyn DetectionProbabilityEngine,
+    config: &OptimizeConfig,
+    budget: &Budget,
+    resume: Option<&Checkpoint>,
+) -> Result<BudgetedOptimize, CheckpointError> {
+    let fingerprint = run_fingerprint(circuit, faults, config);
+    let (mut descent, live_list) = match resume {
+        Some(ckpt) => {
+            if ckpt.kind() != OPTIMIZE_CHECKPOINT_KIND {
+                return Err(CheckpointError::WrongKind {
+                    expected: OPTIMIZE_CHECKPOINT_KIND.to_string(),
+                    found: ckpt.kind().to_string(),
+                });
+            }
+            let descent = Descent::from_checkpoint(ckpt, circuit.num_inputs(), fingerprint)?;
+            // The live list is derived state: the original fault list
+            // minus the checkpointed exclusions, in list order.
+            let excluded: std::collections::HashSet<FaultId> =
+                descent.excluded.iter().copied().collect();
+            let live_list: FaultList = faults
+                .iter()
+                .filter(|(id, _)| !excluded.contains(id))
+                .map(|(_, f)| f)
+                .collect();
+            if live_list.len() != descent.dprobs.len() {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!(
+                        "checkpoint carries {} detection probabilities for {} live faults",
+                        descent.dprobs.len(),
+                        live_list.len()
+                    ),
+                });
+            }
+            (descent, live_list)
+        }
+        None => match init_descent(circuit, faults, engine, config) {
+            Err(hopeless) => {
+                return Ok(BudgetedOptimize {
+                    outcome: RunOutcome::Complete(hopeless),
+                    checkpoint: None,
+                })
+            }
+            Ok(ready) => ready,
+        },
+    };
+    let tripped = run_sweeps(circuit, &live_list, engine, config, &mut descent, Some(budget));
+    match tripped {
+        None => Ok(BudgetedOptimize {
+            outcome: RunOutcome::Complete(descent.into_result()),
+            checkpoint: None,
+        }),
+        Some(reason) => {
+            let progress = Progress {
+                done: descent.sweeps.len() as u64,
+                total: Some(config.max_sweeps as u64),
+                unit: "sweeps",
+            };
+            let checkpoint = descent.to_checkpoint(fingerprint);
+            Ok(BudgetedOptimize {
+                outcome: RunOutcome::Interrupted {
+                    partial: descent.into_result(),
+                    reason,
+                    progress,
+                },
+                checkpoint: Some(checkpoint),
+            })
+        }
     }
 }
 
@@ -558,5 +854,156 @@ mod tests {
         let result = optimize(&c, &faults, &mut engine, &config);
         let sweeps = result.sweeps.len();
         assert_eq!(result.engine_calls, 1 + sweeps * (2 * 3 + 1));
+    }
+
+    fn assert_same_result(got: &OptimizeResult, reference: &OptimizeResult, what: &str) {
+        assert_eq!(got.weights, reference.weights, "{what}: weights");
+        assert_eq!(
+            got.final_length.to_bits(),
+            reference.final_length.to_bits(),
+            "{what}: final length"
+        );
+        assert_eq!(
+            got.initial_length.to_bits(),
+            reference.initial_length.to_bits(),
+            "{what}: initial length"
+        );
+        assert_eq!(got.sweeps, reference.sweeps, "{what}: sweep history");
+        assert_eq!(got.excluded, reference.excluded, "{what}: exclusions");
+        assert_eq!(got.engine_calls, reference.engine_calls, "{what}: calls");
+    }
+
+    #[test]
+    fn budgeted_with_unlimited_budget_matches_optimize_bit_for_bit() {
+        let c = wide_and(8);
+        let faults = FaultList::checkpoints(&c);
+        let config = OptimizeConfig::default();
+        let mut engine = CopEngine::new();
+        let reference = optimize(&c, &faults, &mut engine, &config);
+        let mut engine = CopEngine::new();
+        let run = optimize_budgeted(
+            &c,
+            &faults,
+            &mut engine,
+            &config,
+            &wrt_robust::Budget::unlimited(),
+            None,
+        )
+        .expect("no checkpoint involved");
+        assert!(run.checkpoint.is_none());
+        match run.outcome {
+            RunOutcome::Complete(got) => assert_same_result(&got, &reference, "unbudgeted"),
+            RunOutcome::Interrupted { .. } => panic!("unlimited budget must not interrupt"),
+        }
+    }
+
+    #[test]
+    fn resume_after_eval_interruption_is_bit_identical_to_uninterrupted() {
+        // Interrupt the descent after k sweeps via the eval (= engine
+        // call) axis, round-trip the checkpoint through its on-disk text,
+        // and resume with a *fresh* engine: the completed run must match
+        // the never-interrupted reference bit for bit.
+        let c = wide_and(8);
+        let num_inputs = 8;
+        let faults = FaultList::checkpoints(&c);
+        let config = OptimizeConfig {
+            min_improvement: 0.0, // keep sweeping to the cap
+            max_sweeps: 6,
+            ..OptimizeConfig::default()
+        };
+        let mut engine = CopEngine::new();
+        let reference = optimize(&c, &faults, &mut engine, &config);
+        assert!(reference.sweeps.len() >= 3, "need room to interrupt");
+
+        for k in [0usize, 1, 2] {
+            // engine calls after k sweeps = 1 + k·(2·inputs + 1); the
+            // check-in at the start of sweep k+1 sees exactly that value.
+            let calls_after_k = 1 + k * (2 * num_inputs + 1);
+            let budget = wrt_robust::Budget::unlimited().with_max_evals(calls_after_k as u64);
+            let mut engine = CopEngine::new();
+            let run = optimize_budgeted(&c, &faults, &mut engine, &config, &budget, None)
+                .expect("fresh run");
+            let ckpt = run.checkpoint.expect("interrupted run must checkpoint");
+            match &run.outcome {
+                RunOutcome::Interrupted {
+                    partial,
+                    reason,
+                    progress,
+                } => {
+                    assert_eq!(*reason, BudgetExceeded::Evals);
+                    assert_eq!(progress.done, k as u64);
+                    assert_eq!(progress.unit, "sweeps");
+                    assert_eq!(partial.sweeps.len(), k);
+                }
+                RunOutcome::Complete(_) => panic!("budget {calls_after_k} must interrupt"),
+            }
+
+            // Simulate the disk round trip.
+            let ckpt = Checkpoint::parse(&ckpt.render(), OPTIMIZE_CHECKPOINT_KIND)
+                .expect("checkpoint round-trips");
+
+            let mut fresh = CopEngine::new();
+            let resumed = optimize_budgeted(
+                &c,
+                &faults,
+                &mut fresh,
+                &config,
+                &wrt_robust::Budget::unlimited(),
+                Some(&ckpt),
+            )
+            .expect("resume validates");
+            match resumed.outcome {
+                RunOutcome::Complete(got) => {
+                    assert_same_result(&got, &reference, &format!("resume after sweep {k}"));
+                }
+                RunOutcome::Interrupted { .. } => panic!("resumed run must complete"),
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_from_a_different_run() {
+        let c = wide_and(6);
+        let faults = FaultList::checkpoints(&c);
+        let config = OptimizeConfig {
+            min_improvement: 0.0,
+            max_sweeps: 4,
+            ..OptimizeConfig::default()
+        };
+        let budget = wrt_robust::Budget::unlimited().with_max_evals(1);
+        let mut engine = CopEngine::new();
+        let run = optimize_budgeted(&c, &faults, &mut engine, &config, &budget, None).unwrap();
+        let ckpt = run.checkpoint.expect("interrupted");
+
+        // Same checkpoint, different config: the fingerprint must refuse.
+        let other_config = OptimizeConfig {
+            max_sweeps: 9,
+            ..config.clone()
+        };
+        let mut engine = CopEngine::new();
+        let err = optimize_budgeted(
+            &c,
+            &faults,
+            &mut engine,
+            &other_config,
+            &wrt_robust::Budget::unlimited(),
+            Some(&ckpt),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+
+        // A checkpoint of some other subsystem must be a WrongKind error.
+        let foreign = Checkpoint::new("atpg");
+        let mut engine = CopEngine::new();
+        let err = optimize_budgeted(
+            &c,
+            &faults,
+            &mut engine,
+            &config,
+            &wrt_robust::Budget::unlimited(),
+            Some(&foreign),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::WrongKind { .. }), "{err}");
     }
 }

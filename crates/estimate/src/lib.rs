@@ -51,6 +51,7 @@
 mod bdd;
 mod cop;
 mod cutting;
+mod degrade;
 mod engine;
 mod exact;
 mod hybrid;
@@ -63,6 +64,7 @@ pub use bdd::{exact_signal_probabilities_bdd, BddEngine, BddManager, BddOverflow
 pub use cop::{observabilities_cop, signal_probabilities_cop};
 pub use hybrid::HybridEngine;
 pub use cutting::{signal_probability_bounds, CuttingBounds, ProbabilityInterval};
+pub use degrade::DegradingEngine;
 pub use engine::{
     CopEngine, DetectionProbabilityEngine, ExactEngine, MonteCarloEngine, StafanEngine,
 };

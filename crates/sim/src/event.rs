@@ -856,6 +856,7 @@ mod tests {
 
     /// A conforming-but-awkward source: never more than 24 patterns per
     /// block, even when more are requested (the trait allows it).
+    #[derive(Clone)]
     struct ShortBlocks(WeightedPatterns);
 
     impl PatternSource for ShortBlocks {

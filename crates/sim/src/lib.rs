@@ -79,6 +79,7 @@ mod multiple;
 mod parallel;
 mod patterns;
 mod rng;
+mod robust;
 #[cfg(test)]
 mod test_support;
 
@@ -90,7 +91,10 @@ pub use event::{
 pub use fault_sim::{detection_counts, fault_coverage, FaultSimulator, FaultWorklist};
 pub use parallel::{
     available_threads, detection_counts_sharded, detection_counts_sharded_opts,
-    fault_coverage_sharded, fault_coverage_sharded_opts, recommended_threads,
+    fault_coverage_sharded, fault_coverage_sharded_opts, recommended_threads, ShardRecovery,
+};
+pub use robust::{
+    detection_counts_robust, fault_coverage_robust, RobustCounts, RobustCoverage,
 };
 pub use multiple::{detect_multiple, multiple_fault_coverage, random_multiples};
 pub use logic::{eval_gate_lanes, eval_gate_words, simulate_pattern, LogicSim, WideLogicSim};

@@ -28,11 +28,14 @@
 //! borrow the circuit and fault list directly.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
 use wrt_circuit::Circuit;
-use wrt_fault::{FaultList, FaultPartition};
+use wrt_fault::{FaultId, FaultList, FaultPartition};
+use wrt_robust::failpoint::{self, sites};
+use wrt_robust::{Budget, BudgetExceeded, DegradeStep, InjectedFailure, Ladder};
 
 use crate::coverage::CoverageResult;
 use crate::event::{
@@ -53,9 +56,55 @@ const CHANNEL_DEPTH: usize = 2;
 
 /// A run of consecutive pattern blocks starting at pattern `start`.
 #[derive(Debug)]
-struct Chunk {
-    start: u64,
-    blocks: Vec<PatternBlock>,
+pub(crate) struct Chunk {
+    pub(crate) start: u64,
+    pub(crate) blocks: Vec<PatternBlock>,
+}
+
+/// What the sharded engine had to do to bring a run to completion.
+///
+/// A clean run has zero everything.  When a shard worker dies — a real
+/// panic or an injected one — the engine requeues that shard's fault
+/// worklist for bounded serial replay (same engine first, then the dense
+/// engine); only faults whose shard failed every retry end up in
+/// [`ShardRecovery::unresolved`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardRecovery {
+    /// Worker threads that panicked (original fan-out plus replays).
+    pub worker_panics: usize,
+    /// Shard replay attempts performed.
+    pub replays: usize,
+    /// Degradation steps taken ([`DegradeStep::ShardRequeue`], plus
+    /// [`DegradeStep::EventToDense`] when a replay fell back engines).
+    pub ladder: Ladder,
+    /// Faults whose shard exhausted its retries; their entries in the
+    /// merged result are unchanged from the initial value (undetected /
+    /// zero counts) and must not be interpreted as simulated.
+    pub unresolved: Vec<FaultId>,
+}
+
+impl ShardRecovery {
+    /// Whether every fault's result is accounted for (recovered runs
+    /// included — only [`ShardRecovery::unresolved`] faults are lost).
+    pub fn fully_recovered(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+
+    /// Whether the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        self.worker_panics == 0 && self.replays == 0 && self.ladder.is_empty()
+    }
+}
+
+/// Everything [`run_sharded`] reports alongside the merged `out` values.
+pub(crate) struct ShardRunOutcome {
+    pub(crate) stats: SimStats,
+    pub(crate) recovery: ShardRecovery,
+    /// Patterns actually streamed to the workers — `num_patterns` unless
+    /// a budget axis tripped at a chunk boundary.
+    pub(crate) streamed: u64,
+    /// The budget axis that stopped streaming early, if any.
+    pub(crate) tripped: Option<BudgetExceeded>,
 }
 
 /// Number of worker threads to use when the caller passes `threads = 0`:
@@ -88,14 +137,26 @@ pub fn recommended_threads(requested: usize, num_faults: usize) -> usize {
 }
 
 /// Draws blocks from `source` and broadcasts them to `senders` in bounded
-/// chunks until `num_patterns` patterns are out or every receiver hung up.
+/// chunks until `num_patterns` patterns are out, every receiver hung up,
+/// or the budget (when given, with its canonical evals-per-pattern rate)
+/// trips at a chunk boundary.  Returns the patterns streamed and the
+/// tripped axis, if any.
 fn stream_chunks(
     mut source: impl PatternSource,
     num_patterns: u64,
     mut senders: Vec<SyncSender<Arc<Chunk>>>,
-) {
+    budget: Option<(&Budget, u64)>,
+) -> (u64, Option<BudgetExceeded>) {
     let mut done = 0u64;
     while done < num_patterns && !senders.is_empty() {
+        if let Some((budget, evals_per_pattern)) = budget {
+            // Check-ins happen at chunk boundaries only, so a trip always
+            // leaves a well-formed prefix: every worker has seen exactly
+            // the chunks streamed so far.
+            if let Err(reason) = budget.check_in(done * evals_per_pattern, 0) {
+                return (done, Some(reason));
+            }
+        }
         let start = done;
         let mut blocks = Vec::with_capacity(CHUNK_BLOCKS);
         while blocks.len() < CHUNK_BLOCKS && done < num_patterns {
@@ -109,28 +170,88 @@ fn stream_chunks(
         // drained): stop feeding it, keep the others going.
         senders.retain(|tx| tx.send(Arc::clone(&chunk)).is_ok());
     }
+    (done, None)
 }
 
-/// The shared fan-out scaffold: partitions `faults` into
+/// Re-runs one poisoned shard serially: a fresh worker thread fed the
+/// full (deterministic) pattern stream again, over exactly the
+/// `num_patterns` the healthy shards consumed.  Returns `None` if the
+/// replay worker also panicked.
+fn replay_shard<T: Send>(
+    sublist: FaultList,
+    source: impl PatternSource,
+    num_patterns: u64,
+    worker: &(impl Fn(FaultList, Receiver<Arc<Chunk>>) -> (Vec<T>, SimStats) + Sync),
+) -> Option<(Vec<T>, SimStats)> {
+    std::thread::scope(|scope| {
+        let (tx, rx): (SyncSender<Arc<Chunk>>, Receiver<Arc<Chunk>>) =
+            sync_channel(CHANNEL_DEPTH);
+        let handle = scope.spawn(move || worker(sublist, rx));
+        // No budget: the replay must reproduce the primary stream length
+        // exactly, and recovery is never cut short by a check-in.
+        stream_chunks(source, num_patterns, vec![tx], None);
+        handle.join().ok()
+    })
+}
+
+/// The shared fan-out scaffold's configuration: what to simulate, how
+/// wide to fan out, and which budget (if any) bounds the pattern stream.
+pub(crate) struct ShardedRun<'a, S> {
+    pub(crate) circuit: &'a Circuit,
+    pub(crate) faults: &'a FaultList,
+    pub(crate) source: S,
+    pub(crate) num_patterns: u64,
+    pub(crate) threads: usize,
+    pub(crate) budget: Option<&'a Budget>,
+    /// Whether `fallback` is a genuinely different engine than `worker`
+    /// (records [`DegradeStep::EventToDense`] on the second replay).
+    pub(crate) fallback_is_distinct: bool,
+}
+
+/// The shared fan-out scaffold: partitions the fault list into
 /// cone-locality-aware shards, spawns one scoped worker per shard with
 /// its own bounded chunk channel, streams the pattern blocks, and merges
 /// each worker's per-shard vector back into `out` by fault id.
 ///
 /// `worker` receives the shard's fault sublist and its chunk receiver and
 /// returns one result per shard fault (in sublist order) plus the shard's
-/// work counters; the merged counters are returned.
-fn run_sharded<T: Send>(
-    circuit: &Circuit,
-    faults: &FaultList,
-    source: impl PatternSource,
-    num_patterns: u64,
-    threads: usize,
+/// work counters.
+///
+/// # Panic isolation
+///
+/// A worker panic (or an injected spawn/merge failure from an armed
+/// fail-point session) no longer aborts the run: the poisoned shard is
+/// requeued for serial replay against a fresh clone of the pattern
+/// source — first on the same engine, then once more on the `fallback`
+/// (dense) engine — which reproduces the lost results bit-identically,
+/// because every worker consumes the same deterministic stream.  Shards
+/// that fail every retry surface their faults in
+/// [`ShardRecovery::unresolved`] instead of panicking.
+pub(crate) fn run_sharded<T: Send, S: PatternSource + Clone>(
+    run: ShardedRun<'_, S>,
     out: &mut [T],
     worker: impl Fn(FaultList, Receiver<Arc<Chunk>>) -> (Vec<T>, SimStats) + Sync,
-) -> SimStats {
+    fallback: impl Fn(FaultList, Receiver<Arc<Chunk>>) -> (Vec<T>, SimStats) + Sync,
+) -> ShardRunOutcome {
+    let ShardedRun {
+        circuit,
+        faults,
+        source,
+        num_patterns,
+        threads,
+        budget,
+        fallback_is_distinct,
+    } = run;
     let partition = FaultPartition::cone_locality(circuit, faults, threads);
+    // Canonical eval unit: one fault-free node evaluation per pattern,
+    // making the eval budget a machine- and thread-count-independent
+    // measure of the pattern stream.
+    let evals_per_pattern = (circuit.num_nodes() as u64).max(1);
     let mut stats = SimStats::default();
-    std::thread::scope(|scope| {
+    let mut recovery = ShardRecovery::default();
+    let replay_source = source.clone();
+    let mut poisoned: Vec<usize> = Vec::new();
+    let (streamed, tripped) = std::thread::scope(|scope| {
         let worker = &worker;
         let mut senders = Vec::with_capacity(partition.num_shards());
         let mut handles = Vec::with_capacity(partition.num_shards());
@@ -139,18 +260,91 @@ fn run_sharded<T: Send>(
                 sync_channel(CHANNEL_DEPTH);
             senders.push(tx);
             let sublist = partition.sublist(faults, s);
-            handles.push(scope.spawn(move || worker(sublist, rx)));
+            handles.push(
+                scope.spawn(move || -> Result<(Vec<T>, SimStats), InjectedFailure> {
+                    failpoint::hit(sites::WORKER_SPAWN)?;
+                    Ok(worker(sublist, rx))
+                }),
+            );
         }
-        stream_chunks(source, num_patterns, senders);
+        let streamed = stream_chunks(
+            source,
+            num_patterns,
+            senders,
+            budget.map(|b| (b, evals_per_pattern)),
+        );
         for (s, handle) in handles.into_iter().enumerate() {
-            let (local, local_stats) = handle.join().expect("fault-sim worker panicked");
-            stats.merge(&local_stats);
-            for (value, &id) in local.into_iter().zip(partition.shard(s)) {
-                out[id.index()] = value;
+            match handle.join() {
+                // A real worker panic: isolate and requeue the shard.
+                Err(_panic) => {
+                    recovery.worker_panics += 1;
+                    poisoned.push(s);
+                }
+                // An injected spawn failure: same recovery, no unwind.
+                Ok(Err(_injected)) => poisoned.push(s),
+                Ok(Ok((local, local_stats))) => {
+                    // The merge fail point may be armed to panic; catch it
+                    // so an injected merge failure degrades to a shard
+                    // replay instead of aborting the run (safe code only —
+                    // the workspace forbids unsafe, and the registry lock
+                    // tolerates poisoning).
+                    match catch_unwind(AssertUnwindSafe(|| failpoint::hit(sites::SHARD_MERGE))) {
+                        Ok(Ok(())) => {
+                            stats.merge(&local_stats);
+                            for (value, &id) in local.into_iter().zip(partition.shard(s)) {
+                                out[id.index()] = value;
+                            }
+                        }
+                        Err(_panic) => {
+                            recovery.worker_panics += 1;
+                            poisoned.push(s);
+                        }
+                        Ok(Err(_injected)) => poisoned.push(s),
+                    }
+                }
             }
         }
+        streamed
     });
-    stats
+    for s in poisoned {
+        recovery
+            .ladder
+            .record(DegradeStep::ShardRequeue, format!("shard {s} poisoned"));
+        let mut recovered = false;
+        for attempt in 0..2 {
+            recovery.replays += 1;
+            if attempt == 1 && fallback_is_distinct {
+                recovery.ladder.record(
+                    DegradeStep::EventToDense,
+                    format!("shard {s} second replay"),
+                );
+            }
+            let sublist = partition.sublist(faults, s);
+            let replayed = if attempt == 0 {
+                replay_shard(sublist, replay_source.clone(), streamed, &worker)
+            } else {
+                replay_shard(sublist, replay_source.clone(), streamed, &fallback)
+            };
+            if let Some((local, local_stats)) = replayed {
+                stats.merge(&local_stats);
+                for (value, &id) in local.into_iter().zip(partition.shard(s)) {
+                    out[id.index()] = value;
+                }
+                recovered = true;
+                break;
+            }
+            recovery.worker_panics += 1;
+        }
+        if !recovered {
+            recovery.unresolved.extend(partition.shard(s).iter().copied());
+        }
+    }
+    ShardRunOutcome {
+        stats,
+        recovery,
+        streamed,
+        tripped,
+    }
 }
 
 /// Sharded [`fault_coverage`]: identical results, fanned out over
@@ -165,7 +359,7 @@ fn run_sharded<T: Send>(
 pub fn fault_coverage_sharded(
     circuit: &Circuit,
     faults: &FaultList,
-    source: impl PatternSource,
+    source: impl PatternSource + Clone,
     num_patterns: u64,
     drop: bool,
     threads: usize,
@@ -190,11 +384,15 @@ pub fn fault_coverage_sharded(
 ///
 /// # Panics
 ///
-/// Panics if `opts` fails [`SimOptions::validate`].
+/// Panics if `opts` fails [`SimOptions::validate`], or if a shard worker
+/// panicked repeatedly and its faults could not be recovered by bounded
+/// serial replay (see [`ShardRecovery`]; the budgeted
+/// [`crate::robust::fault_coverage_robust`] entry point reports the same
+/// situation structurally instead).
 pub fn fault_coverage_sharded_opts(
     circuit: &Circuit,
     faults: &FaultList,
-    source: impl PatternSource,
+    source: impl PatternSource + Clone,
     num_patterns: u64,
     drop: bool,
     threads: usize,
@@ -206,12 +404,16 @@ pub fn fault_coverage_sharded_opts(
     }
     opts.validate().expect("invalid SimOptions");
     let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
-    let stats = run_sharded(
-        circuit,
-        faults,
-        source,
-        num_patterns,
-        threads,
+    let outcome = run_sharded(
+        ShardedRun {
+            circuit,
+            faults,
+            source,
+            num_patterns,
+            threads,
+            budget: None,
+            fallback_is_distinct: opts.engine == SimEngineKind::Event,
+        },
         &mut detected_at,
         |sublist, rx| match opts.engine {
             SimEngineKind::Dense => coverage_worker_dense(circuit, sublist, rx, drop),
@@ -219,11 +421,19 @@ pub fn fault_coverage_sharded_opts(
                 coverage_worker_event::<W>(circuit, sublist, rx, drop)
             }),
         },
+        |sublist, rx| coverage_worker_dense(circuit, sublist, rx, drop),
     );
-    (CoverageResult::new(detected_at, num_patterns), stats)
+    assert!(
+        outcome.recovery.fully_recovered(),
+        "fault-sim shard recovery failed: {} faults unresolved after bounded replays \
+         ({} worker panics)",
+        outcome.recovery.unresolved.len(),
+        outcome.recovery.worker_panics,
+    );
+    (CoverageResult::new(detected_at, num_patterns), outcome.stats)
 }
 
-fn coverage_worker_dense(
+pub(crate) fn coverage_worker_dense(
     circuit: &Circuit,
     sublist: FaultList,
     rx: Receiver<Arc<Chunk>>,
@@ -277,7 +487,7 @@ fn for_each_superblock<const W: usize>(
 
 /// Event-engine coverage worker: one [`EventSimulator`] per shard over
 /// the broadcast chunks' superblocks.
-fn coverage_worker_event<const W: usize>(
+pub(crate) fn coverage_worker_event<const W: usize>(
     circuit: &Circuit,
     sublist: FaultList,
     rx: Receiver<Arc<Chunk>>,
@@ -323,7 +533,7 @@ fn coverage_worker_event<const W: usize>(
 pub fn detection_counts_sharded(
     circuit: &Circuit,
     faults: &FaultList,
-    source: impl PatternSource,
+    source: impl PatternSource + Clone,
     num_patterns: u64,
     threads: usize,
 ) -> Vec<u64> {
@@ -344,11 +554,12 @@ pub fn detection_counts_sharded(
 ///
 /// # Panics
 ///
-/// Panics if `opts` fails [`SimOptions::validate`].
+/// Panics if `opts` fails [`SimOptions::validate`], or if shard recovery
+/// was exhausted (see [`fault_coverage_sharded_opts`]).
 pub fn detection_counts_sharded_opts(
     circuit: &Circuit,
     faults: &FaultList,
-    source: impl PatternSource,
+    source: impl PatternSource + Clone,
     num_patterns: u64,
     threads: usize,
     opts: SimOptions,
@@ -359,12 +570,16 @@ pub fn detection_counts_sharded_opts(
     }
     opts.validate().expect("invalid SimOptions");
     let mut counts = vec![0u64; faults.len()];
-    let stats = run_sharded(
-        circuit,
-        faults,
-        source,
-        num_patterns,
-        threads,
+    let outcome = run_sharded(
+        ShardedRun {
+            circuit,
+            faults,
+            source,
+            num_patterns,
+            threads,
+            budget: None,
+            fallback_is_distinct: opts.engine == SimEngineKind::Event,
+        },
         &mut counts,
         |sublist, rx| match opts.engine {
             SimEngineKind::Dense => counts_worker_dense(circuit, sublist, rx),
@@ -372,11 +587,19 @@ pub fn detection_counts_sharded_opts(
                 counts_worker_event::<W>(circuit, sublist, rx)
             }),
         },
+        |sublist, rx| counts_worker_dense(circuit, sublist, rx),
     );
-    (counts, stats)
+    assert!(
+        outcome.recovery.fully_recovered(),
+        "fault-sim shard recovery failed: {} faults unresolved after bounded replays \
+         ({} worker panics)",
+        outcome.recovery.unresolved.len(),
+        outcome.recovery.worker_panics,
+    );
+    (counts, outcome.stats)
 }
 
-fn counts_worker_dense(
+pub(crate) fn counts_worker_dense(
     circuit: &Circuit,
     sublist: FaultList,
     rx: Receiver<Arc<Chunk>>,
@@ -395,7 +618,7 @@ fn counts_worker_dense(
     (local, stats)
 }
 
-fn counts_worker_event<const W: usize>(
+pub(crate) fn counts_worker_event<const W: usize>(
     circuit: &Circuit,
     sublist: FaultList,
     rx: Receiver<Arc<Chunk>>,

@@ -1,0 +1,399 @@
+//! Budgeted, panic-isolated fault-simulation entry points.
+//!
+//! These are the run-to-completion variants of the sharded PPSFP engines:
+//! they accept a [`Budget`], stream patterns through the sharded scaffold
+//! (panic-isolated shard recovery included), and report everything
+//! structurally — partial results on a tripped budget, a
+//! [`ShardRecovery`] record instead of a panic when workers die.
+//!
+//! # Canonical eval units
+//!
+//! The eval axis of the budget is counted in *canonical* units: one eval
+//! per circuit node per pattern of fault-free simulation.  That makes
+//! `max_evals` a machine- and thread-count-independent measure of the
+//! pattern stream, so an eval-budget interruption at the same value
+//! yields the *bit-identical* partial result across runs, engines, and
+//! thread counts: the budget resolves upfront to a deterministic pattern
+//! clip `min(num_patterns, max_evals / num_nodes)`.  The real measured
+//! work (which is far lower for the event engine) is still reported via
+//! [`SimStats`].
+//!
+//! Wall-clock deadlines and cancellation trip at chunk boundaries, so
+//! their partial results are well-formed prefixes of the pattern stream —
+//! but *which* prefix depends on timing, and they are explicitly excluded
+//! from the bit-identity claim.
+
+use wrt_circuit::Circuit;
+use wrt_fault::FaultList;
+use wrt_robust::{Budget, Progress, RunOutcome};
+
+use crate::coverage::CoverageResult;
+use crate::event::{with_block_words, SimEngineKind, SimOptions, SimStats};
+use crate::parallel::{
+    counts_worker_dense, counts_worker_event, coverage_worker_dense, coverage_worker_event,
+    recommended_threads, run_sharded, ShardRecovery, ShardedRun,
+};
+use crate::patterns::PatternSource;
+
+/// A budgeted coverage run's payload: the (possibly partial) coverage,
+/// the merged work counters, and the recovery record.
+#[derive(Debug, Clone)]
+pub struct RobustCoverage {
+    /// Detection results over the patterns actually simulated.
+    pub result: CoverageResult,
+    /// Merged machine-independent work counters.
+    pub stats: SimStats,
+    /// What recovery, if any, the run needed.
+    pub recovery: ShardRecovery,
+}
+
+/// A budgeted detection-counts run's payload.
+#[derive(Debug, Clone)]
+pub struct RobustCounts {
+    /// Per-fault detection counts over the patterns actually simulated.
+    pub counts: Vec<u64>,
+    /// Patterns actually simulated (the denominator for frequencies).
+    pub num_patterns: u64,
+    /// Merged machine-independent work counters.
+    pub stats: SimStats,
+    /// What recovery, if any, the run needed.
+    pub recovery: ShardRecovery,
+}
+
+/// Resolves the eval budget to a deterministic pattern clip (see the
+/// module docs) and the canonical per-pattern eval rate.
+fn eval_clip(circuit: &Circuit, num_patterns: u64, budget: &Budget) -> (u64, u64) {
+    let evals_per_pattern = (circuit.num_nodes() as u64).max(1);
+    let clip = budget
+        .max_evals()
+        .map_or(num_patterns, |max| (max / evals_per_pattern).min(num_patterns));
+    (clip, evals_per_pattern)
+}
+
+/// Wraps a sharded run's raw outcome into a [`RunOutcome`]: a runtime
+/// budget trip wins; otherwise an upfront eval clip reports
+/// [`wrt_robust::BudgetExceeded::Evals`]; otherwise the run is complete.
+fn wrap_outcome<T>(
+    partial: T,
+    streamed: u64,
+    tripped: Option<wrt_robust::BudgetExceeded>,
+    target: u64,
+    requested: u64,
+) -> RunOutcome<T> {
+    let progress = Progress {
+        done: streamed,
+        total: Some(requested),
+        unit: "patterns",
+    };
+    if let Some(reason) = tripped {
+        return RunOutcome::Interrupted {
+            partial,
+            reason,
+            progress,
+        };
+    }
+    if target < requested {
+        return RunOutcome::Interrupted {
+            partial,
+            reason: wrt_robust::BudgetExceeded::Evals,
+            progress,
+        };
+    }
+    RunOutcome::Complete(partial)
+}
+
+/// Budgeted, panic-isolated [`crate::fault_coverage_sharded`]: coverage
+/// over as many patterns as the budget admits, with structured shard
+/// recovery.  `threads = 0` resolves via [`recommended_threads`]; the run
+/// always uses the sharded scaffold (one shard at `threads = 1`), whose
+/// bit-identity to the serial engine is property-tested.
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`SimOptions::validate`] (programmer error —
+/// the CLI validates engine flags before reaching this point).
+// One argument past the lint's threshold: the signature deliberately
+// mirrors `fault_coverage_sharded_opts` plus the budget.
+#[allow(clippy::too_many_arguments)]
+pub fn fault_coverage_robust(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource + Clone,
+    num_patterns: u64,
+    drop: bool,
+    threads: usize,
+    opts: SimOptions,
+    budget: &Budget,
+) -> RunOutcome<RobustCoverage> {
+    opts.validate().expect("invalid SimOptions");
+    let (target, _) = eval_clip(circuit, num_patterns, budget);
+    if faults.is_empty() {
+        return wrap_outcome(
+            RobustCoverage {
+                result: CoverageResult::new(Vec::new(), target),
+                stats: SimStats::default(),
+                recovery: ShardRecovery::default(),
+            },
+            target,
+            None,
+            target,
+            num_patterns,
+        );
+    }
+    let threads = recommended_threads(threads, faults.len()).max(1);
+    let mut detected_at: Vec<Option<u64>> = vec![None; faults.len()];
+    let outcome = run_sharded(
+        ShardedRun {
+            circuit,
+            faults,
+            source,
+            num_patterns: target,
+            threads,
+            budget: Some(budget),
+            fallback_is_distinct: opts.engine == SimEngineKind::Event,
+        },
+        &mut detected_at,
+        |sublist, rx| match opts.engine {
+            SimEngineKind::Dense => coverage_worker_dense(circuit, sublist, rx, drop),
+            SimEngineKind::Event => with_block_words!(opts.block_words, W => {
+                coverage_worker_event::<W>(circuit, sublist, rx, drop)
+            }),
+        },
+        |sublist, rx| coverage_worker_dense(circuit, sublist, rx, drop),
+    );
+    wrap_outcome(
+        RobustCoverage {
+            result: CoverageResult::new(detected_at, outcome.streamed),
+            stats: outcome.stats,
+            recovery: outcome.recovery,
+        },
+        outcome.streamed,
+        outcome.tripped,
+        target,
+        num_patterns,
+    )
+}
+
+/// Budgeted, panic-isolated [`crate::detection_counts_sharded`]; see
+/// [`fault_coverage_robust`] for the budget and recovery semantics.
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`SimOptions::validate`].
+pub fn detection_counts_robust(
+    circuit: &Circuit,
+    faults: &FaultList,
+    source: impl PatternSource + Clone,
+    num_patterns: u64,
+    threads: usize,
+    opts: SimOptions,
+    budget: &Budget,
+) -> RunOutcome<RobustCounts> {
+    opts.validate().expect("invalid SimOptions");
+    let (target, _) = eval_clip(circuit, num_patterns, budget);
+    if faults.is_empty() {
+        return wrap_outcome(
+            RobustCounts {
+                counts: Vec::new(),
+                num_patterns: target,
+                stats: SimStats::default(),
+                recovery: ShardRecovery::default(),
+            },
+            target,
+            None,
+            target,
+            num_patterns,
+        );
+    }
+    let threads = recommended_threads(threads, faults.len()).max(1);
+    let mut counts = vec![0u64; faults.len()];
+    let outcome = run_sharded(
+        ShardedRun {
+            circuit,
+            faults,
+            source,
+            num_patterns: target,
+            threads,
+            budget: Some(budget),
+            fallback_is_distinct: opts.engine == SimEngineKind::Event,
+        },
+        &mut counts,
+        |sublist, rx| match opts.engine {
+            SimEngineKind::Dense => counts_worker_dense(circuit, sublist, rx),
+            SimEngineKind::Event => with_block_words!(opts.block_words, W => {
+                counts_worker_event::<W>(circuit, sublist, rx)
+            }),
+        },
+        |sublist, rx| counts_worker_dense(circuit, sublist, rx),
+    );
+    wrap_outcome(
+        RobustCounts {
+            counts,
+            num_patterns: outcome.streamed,
+            stats: outcome.stats,
+            recovery: outcome.recovery,
+        },
+        outcome.streamed,
+        outcome.tripped,
+        target,
+        num_patterns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_sim::fault_coverage;
+    use crate::patterns::WeightedPatterns;
+    use std::time::Duration;
+    use wrt_circuit::parse_bench;
+    use wrt_robust::BudgetExceeded;
+
+    fn adder() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(cout)\n\
+             x1 = XOR(a, b)\ns = XOR(x1, cin)\na1 = AND(a, b)\na2 = AND(x1, cin)\n\
+             cout = OR(a1, a2)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_matches_legacy_bit_for_bit() {
+        let c = adder();
+        let faults = FaultList::full(&c);
+        let legacy = fault_coverage(&c, &faults, WeightedPatterns::equiprobable(3, 11), 500, true);
+        for threads in [1, 2, 4] {
+            for opts in [SimOptions::dense(), SimOptions::event(4)] {
+                let robust = fault_coverage_robust(
+                    &c,
+                    &faults,
+                    WeightedPatterns::equiprobable(3, 11),
+                    500,
+                    true,
+                    threads,
+                    opts,
+                    &Budget::unlimited(),
+                );
+                assert!(robust.is_complete());
+                let rc = robust.into_value();
+                assert!(rc.recovery.is_clean());
+                assert_eq!(legacy.detected_at(), rc.result.detected_at());
+            }
+        }
+    }
+
+    #[test]
+    fn eval_budget_resolves_to_a_deterministic_pattern_clip() {
+        let c = adder();
+        let faults = FaultList::full(&c);
+        let nodes = c.num_nodes() as u64;
+        // Budget for exactly 100 patterns of canonical work.
+        let budget = Budget::unlimited().with_max_evals(100 * nodes);
+        let clipped = fault_coverage(&c, &faults, WeightedPatterns::equiprobable(3, 5), 100, false);
+        let mut partials = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            for opts in [SimOptions::dense(), SimOptions::event(2)] {
+                let outcome = fault_coverage_robust(
+                    &c,
+                    &faults,
+                    WeightedPatterns::equiprobable(3, 5),
+                    100_000,
+                    false,
+                    threads,
+                    opts,
+                    &budget,
+                );
+                assert_eq!(outcome.interrupt_reason(), Some(BudgetExceeded::Evals));
+                let rc = outcome.into_value();
+                // Identical partial result across thread counts and
+                // engines: exactly the first 100 patterns.
+                assert_eq!(rc.result.detected_at(), clipped.detected_at());
+                partials.push(rc.result.detected_at().to_vec());
+            }
+        }
+        assert!(partials.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn eval_budget_smaller_than_one_pattern_yields_empty_partial() {
+        let c = adder();
+        let faults = FaultList::full(&c);
+        // Fewer evals than one pattern costs: zero patterns simulated.
+        let budget = Budget::unlimited().with_max_evals(1);
+        let outcome = detection_counts_robust(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 5),
+            1000,
+            2,
+            SimOptions::dense(),
+            &budget,
+        );
+        assert_eq!(outcome.interrupt_reason(), Some(BudgetExceeded::Evals));
+        let rc = outcome.into_value();
+        assert_eq!(rc.num_patterns, 0);
+        assert!(rc.counts.iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn zero_time_limit_interrupts_with_empty_partial() {
+        let c = adder();
+        let faults = FaultList::full(&c);
+        let budget = Budget::unlimited().with_time_limit(Duration::ZERO);
+        let outcome = fault_coverage_robust(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 5),
+            1000,
+            true,
+            2,
+            SimOptions::dense(),
+            &budget,
+        );
+        assert_eq!(outcome.interrupt_reason(), Some(BudgetExceeded::Deadline));
+        let rc = outcome.into_value();
+        assert_eq!(rc.result.num_patterns(), 0);
+        assert!(rc.result.detected_at().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cancellation_interrupts_at_the_next_chunk_boundary() {
+        let c = adder();
+        let faults = FaultList::full(&c);
+        let mut budget = Budget::unlimited();
+        let token = budget.cancel_token();
+        token.store(true, std::sync::atomic::Ordering::Relaxed);
+        let outcome = fault_coverage_robust(
+            &c,
+            &faults,
+            WeightedPatterns::equiprobable(3, 5),
+            1000,
+            true,
+            2,
+            SimOptions::dense(),
+            &budget,
+        );
+        assert_eq!(outcome.interrupt_reason(), Some(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn empty_fault_list_is_complete_and_clean() {
+        let c = adder();
+        let empty = FaultList::from_faults(vec![]);
+        let outcome = fault_coverage_robust(
+            &c,
+            &empty,
+            WeightedPatterns::equiprobable(3, 1),
+            64,
+            true,
+            4,
+            SimOptions::dense(),
+            &Budget::unlimited(),
+        );
+        assert!(outcome.is_complete());
+        let rc = outcome.into_value();
+        assert_eq!(rc.result.num_faults(), 0);
+        assert!(rc.recovery.is_clean());
+    }
+}

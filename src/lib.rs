@@ -18,6 +18,9 @@
 //! * [`analyze`] — simulation-free static analysis: SCOAP testability,
 //!   structural lints, FFR/reconvergence census, and the seeds the
 //!   optimizer and PODEM consume;
+//! * [`robust`] — run-to-completion resilience: budgets with structured
+//!   interruption, checkpoint/resume sidecars, the graceful-degradation
+//!   ladder, and the deterministic fail-point registry;
 //! * [`workloads`] — the twelve benchmark circuit generators.
 //!
 //! # Quickstart
@@ -46,6 +49,7 @@ pub use wrt_circuit as circuit;
 pub use wrt_core as core;
 pub use wrt_estimate as estimate;
 pub use wrt_fault as fault;
+pub use wrt_robust as robust;
 pub use wrt_sim as sim;
 pub use wrt_workloads as workloads;
 
@@ -63,6 +67,7 @@ pub mod prelude {
         CopEngine, DetectionProbabilityEngine, ExactEngine, MonteCarloEngine, StafanEngine,
     };
     pub use wrt_fault::{Fault, FaultList, FaultSite};
+    pub use wrt_robust::{Budget, BudgetExceeded, Checkpoint, RunOutcome};
     pub use wrt_sim::{
         detection_counts, fault_coverage, FaultSimulator, LogicSim, PatternSource,
         WeightedPatterns,
