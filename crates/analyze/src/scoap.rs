@@ -76,8 +76,13 @@ pub struct Scoap {
     cc0: Vec<u32>,
     cc1: Vec<u32>,
     co: Vec<u32>,
-    /// Per-node observability of each fanin *pin* (branch observability).
-    pin_co: Vec<Vec<u32>>,
+    /// Fanin-CSR pin offsets copied from the circuit, so [`Self::pin_co`]
+    /// keeps its `(gate, pin)` signature without holding a circuit
+    /// borrow: pin `p` of gate `g` is edge `pin_offsets[g] + p`.
+    pin_offsets: Vec<u32>,
+    /// Edge-indexed observability of each fanin *pin* (branch
+    /// observability); see [`Self::pin_offsets`].
+    pin_co: Vec<u32>,
 }
 
 impl Scoap {
@@ -135,17 +140,19 @@ impl Scoap {
         // Backward pass: reverse topological order, mirroring the COP
         // observability sweep.
         let mut co = vec![SCOAP_INF; n];
-        let mut pin_co: Vec<Vec<u32>> = circuit
-            .iter()
-            .map(|(_, node)| vec![SCOAP_INF; node.fanin().len()])
+        let pin_offsets: Vec<u32> = circuit
+            .ids()
+            .map(|id| circuit.fanin_offset(id) as u32)
             .collect();
+        let mut pin_co = vec![SCOAP_INF; circuit.num_edges()];
         for idx in (0..n).rev() {
             let id = NodeId::from_index(idx);
             let mut best = if circuit.is_output(id) { 0 } else { SCOAP_INF };
             for &sink in circuit.fanout(id) {
+                let sink_base = circuit.fanin_offset(sink);
                 for (pin, &f) in circuit.node(sink).fanin().iter().enumerate() {
                     if f == id {
-                        best = best.min(pin_co[sink.index()][pin]);
+                        best = best.min(pin_co[sink_base + pin]);
                     }
                 }
             }
@@ -157,6 +164,7 @@ impl Scoap {
             let node = circuit.node(id);
             let fanin = node.fanin();
             let o = co[idx];
+            let base = circuit.fanin_offset(id);
             for pin in 0..fanin.len() {
                 let side = match node.kind() {
                     GateKind::And | GateKind::Nand => sum_except(fanin, pin, &cc1),
@@ -175,7 +183,7 @@ impl Scoap {
                     GateKind::Not | GateKind::Buf => 0,
                     GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
                 };
-                pin_co[idx][pin] = sadd(o, sadd(1, side));
+                pin_co[base + pin] = sadd(o, sadd(1, side));
             }
         }
 
@@ -183,6 +191,7 @@ impl Scoap {
             cc0,
             cc1,
             co,
+            pin_offsets,
             pin_co,
         }
     }
@@ -213,7 +222,7 @@ impl Scoap {
 
     /// Observability of one fanin pin (branch) of a gate.
     pub fn pin_co(&self, gate: NodeId, pin: usize) -> u32 {
-        self.pin_co[gate.index()][pin]
+        self.pin_co[self.pin_offsets[gate.index()] as usize + pin]
     }
 
     /// All 0-controllabilities, indexed by [`NodeId::index`].

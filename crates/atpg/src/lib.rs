@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 
 mod dvalue;
+mod patterns;
 mod podem;
 mod report;
 
 pub use dvalue::{Dv, Tri};
+pub use patterns::PatternSet;
 pub use podem::{AtpgOutcome, Podem};
 pub use report::{
     generate_tests, generate_tests_budgeted, AtpgConfig, AtpgReport, BacktraceGuidance,

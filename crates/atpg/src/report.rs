@@ -16,6 +16,7 @@ use wrt_fault::{FaultId, FaultList};
 use wrt_robust::{Budget, BudgetExceeded, Checkpoint, CheckpointError, DegradeStep, Ladder, Progress, RunOutcome};
 use wrt_sim::{FaultSimulator, Xoshiro256};
 
+use crate::patterns::PatternSet;
 use crate::podem::{AtpgOutcome, Podem};
 
 /// Which controllability model steers the PODEM backtrace.
@@ -66,8 +67,9 @@ impl Default for AtpgConfig {
 /// Outcome of a batch ATPG run.
 #[derive(Debug, Clone)]
 pub struct AtpgReport {
-    /// The generated test set (don't-cares filled).
-    pub tests: Vec<Vec<bool>>,
+    /// The generated test set (don't-cares filled), bit-packed — one bit
+    /// per primary input, not one heap `Vec` per pattern.
+    pub tests: PatternSet,
     /// Faults detected (by a generated test or by dropping).
     pub detected: Vec<FaultId>,
     /// Faults proven redundant.
@@ -105,7 +107,7 @@ impl AtpgReport {
 /// the paper's §5.2 accelerates further by *pre-dropping* with optimized
 /// random patterns before any PODEM call.
 pub fn generate_tests(circuit: &Circuit, faults: &FaultList, config: &AtpgConfig) -> AtpgReport {
-    let mut state = AtpgState::fresh(faults.len(), config);
+    let mut state = AtpgState::fresh(circuit.num_inputs(), faults.len(), config);
     let tripped = run_atpg_loop(circuit, faults, config, &mut state, None);
     debug_assert!(tripped.is_none(), "unbudgeted ATPG cannot be interrupted");
     state.into_report(faults).0
@@ -114,7 +116,7 @@ pub fn generate_tests(circuit: &Circuit, faults: &FaultList, config: &AtpgConfig
 /// The resumable state of the batch loop at a fault boundary.
 struct AtpgState {
     detected: Vec<bool>,
-    tests: Vec<Vec<bool>>,
+    tests: PatternSet,
     redundant: Vec<FaultId>,
     aborted: Vec<FaultId>,
     podem_calls: usize,
@@ -126,10 +128,10 @@ struct AtpgState {
 }
 
 impl AtpgState {
-    fn fresh(num_faults: usize, config: &AtpgConfig) -> Self {
+    fn fresh(num_inputs: usize, num_faults: usize, config: &AtpgConfig) -> Self {
         AtpgState {
             detected: vec![false; num_faults],
-            tests: Vec::new(),
+            tests: PatternSet::new(num_inputs),
             redundant: Vec::new(),
             aborted: Vec::new(),
             podem_calls: 0,
@@ -186,11 +188,12 @@ impl AtpgState {
         let ids = |v: &[FaultId]| -> Vec<u64> { v.iter().map(|id| id.index() as u64).collect() };
         c.put_u64_slice("redundant", &ids(&self.redundant));
         c.put_u64_slice("aborted", &ids(&self.aborted));
-        // Tests as comma-joined 0/1 bitstrings (one per pattern).
+        // Tests as comma-joined 0/1 bitstrings (one per pattern) — the
+        // text format predates the bit-packed store and is preserved.
         let tests: Vec<String> = self
             .tests
             .iter()
-            .map(|t| t.iter().map(|&b| if b { '1' } else { '0' }).collect())
+            .map(|t| t.map(|b| if b { '1' } else { '0' }).collect())
             .collect();
         c.put("tests", tests.join(","));
         // RNG mid-stream state; empty when fill is deterministic zeros.
@@ -202,6 +205,7 @@ impl AtpgState {
     /// [`AtpgState::to_checkpoint`], validating the run fingerprint.
     fn from_checkpoint(
         ckpt: &Checkpoint,
+        num_inputs: usize,
         faults: &FaultList,
         config: &AtpgConfig,
         fingerprint: u64,
@@ -249,24 +253,31 @@ impl AtpgState {
                 .collect()
         };
         let raw_tests = ckpt.get("tests")?;
-        let tests: Vec<Vec<bool>> = if raw_tests.is_empty() {
-            Vec::new()
-        } else {
-            raw_tests
-                .split(',')
-                .map(|bits| {
-                    bits.chars()
-                        .map(|ch| match ch {
-                            '0' => Ok(false),
-                            '1' => Ok(true),
-                            other => Err(CheckpointError::Corrupt {
-                                reason: format!("test bitstring holds `{other}`"),
-                            }),
+        let mut tests = PatternSet::new(num_inputs);
+        let mut bits: Vec<bool> = Vec::with_capacity(num_inputs);
+        for pattern in raw_tests.split(',').filter(|p| !p.is_empty()) {
+            bits.clear();
+            for ch in pattern.chars() {
+                bits.push(match ch {
+                    '0' => false,
+                    '1' => true,
+                    other => {
+                        return Err(CheckpointError::Corrupt {
+                            reason: format!("test bitstring holds `{other}`"),
                         })
-                        .collect()
-                })
-                .collect::<Result<_, _>>()?
-        };
+                    }
+                });
+            }
+            if bits.len() != num_inputs {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!(
+                        "test bitstring is {} bits wide, circuit has {num_inputs} inputs",
+                        bits.len()
+                    ),
+                });
+            }
+            tests.push(&bits);
+        }
         let rng_words = ckpt.get_u64_slice("rng_state")?;
         let rng = match (rng_words.len(), config.random_fill_seed) {
             (0, None) => None,
@@ -375,7 +386,7 @@ fn run_atpg_loop(
                 // The targeted fault must be among them.
                 debug_assert!(state.detected[id.index()], "PODEM test failed simulation");
                 state.detected[id.index()] = true;
-                state.tests.push(filled);
+                state.tests.push(&filled);
             }
         }
         state.next_index = id.index() + 1;
@@ -449,9 +460,9 @@ pub fn generate_tests_budgeted(
                     found: ckpt.kind().to_string(),
                 });
             }
-            AtpgState::from_checkpoint(ckpt, faults, config, fingerprint)?
+            AtpgState::from_checkpoint(ckpt, circuit.num_inputs(), faults, config, fingerprint)?
         }
-        None => AtpgState::fresh(faults.len(), config),
+        None => AtpgState::fresh(circuit.num_inputs(), faults.len(), config),
     };
     let tripped = run_atpg_loop(circuit, faults, config, &mut state, Some(budget));
     match tripped {

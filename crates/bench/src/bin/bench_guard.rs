@@ -1,6 +1,7 @@
 //! Benchmark-artifact guard: validates `BENCH_sim.json`,
-//! `BENCH_optimize.json`, `BENCH_analyze.json` and `BENCH_robust.json`
-//! so the committed artifacts cannot silently go stale or corrupt.
+//! `BENCH_optimize.json`, `BENCH_analyze.json`, `BENCH_robust.json` and
+//! `BENCH_scale.json` so the committed artifacts cannot silently go
+//! stale or corrupt.
 //!
 //! The bench binaries assert their own invariants at generation time,
 //! but the *committed* artifacts are edited, rebased and merged like any
@@ -19,7 +20,12 @@
 //!   the tracked set is a regression, not a measurement;
 //! * every `"unrecovered"` field (the chaos sweep's silent-result-loss
 //!   counter in `BENCH_robust.json`) must be exactly `0` — an artifact
-//!   recording an unrecovered fail-point injection fails the build.
+//!   recording an unrecovered fail-point injection fails the build;
+//! * `"bytes_per_gate"` values (the scale sweep's memory headline in
+//!   `BENCH_scale.json`, rows ordered by increasing circuit size) must
+//!   stay flat or decrease — each row may exceed its predecessor by at
+//!   most 5% (name strings grow a digit at larger sizes); a rising curve
+//!   means a superlinear term crept into the flat circuit core.
 //!
 //! Run with `cargo run --release -p wrt-bench --bin bench_guard --
 //! [FILE ...]`; with no arguments it checks the two default artifacts in
@@ -124,7 +130,13 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
     let mut numeric_fields = 0usize;
     let mut guided: Vec<(f64, usize)> = Vec::new();
     let mut unguided: Vec<(f64, usize)> = Vec::new();
+    let mut bytes_per_gate: Vec<(f64, usize)> = Vec::new();
     for v in &values {
+        if v.key == "bytes_per_gate" {
+            if let Ok(x) = v.value.parse::<f64>() {
+                bytes_per_gate.push((x, v.line));
+            }
+        }
         if v.key == "guided_backtracks" || v.key == "unguided_backtracks" {
             if let Ok(x) = v.value.parse::<f64>() {
                 if v.key == "guided_backtracks" {
@@ -187,6 +199,18 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
             unguided.len()
         ));
     }
+    // Scale-sweep memory curve: rows are ordered by increasing circuit
+    // size, so each bytes/gate value may exceed its predecessor by at
+    // most 5% (names gain a digit as instance counts grow); more than
+    // that means a superlinear memory term.
+    for pair in bytes_per_gate.windows(2) {
+        let ((prev, _), (next, line)) = (pair[0], pair[1]);
+        if next > prev * 1.05 {
+            violations.push(format!(
+                "{path}:{line}: bytes_per_gate rose {prev} -> {next} (>5%) — superlinear memory term"
+            ));
+        }
+    }
     violations
 }
 
@@ -198,6 +222,7 @@ fn main() -> ExitCode {
             "BENCH_optimize.json".into(),
             "BENCH_analyze.json".into(),
             "BENCH_robust.json".into(),
+            "BENCH_scale.json".into(),
         ]
     } else {
         args
@@ -301,6 +326,28 @@ mod tests {
     }
 
     #[test]
+    fn flat_or_decreasing_bytes_per_gate_passes() {
+        let text = "{ \"rows\": [ { \"bytes_per_gate\": 54.1, \"bit_identical\": true }, { \"bytes_per_gate\": 54.0, \"bit_identical\": true }, { \"bytes_per_gate\": 53.5, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", text).is_empty());
+    }
+
+    #[test]
+    fn small_bytes_per_gate_creep_within_tolerance_passes() {
+        // 53.5 -> 54.8 over the sweep is ~2.4% total, well under the
+        // 5% per-step bound (names gaining a digit).
+        let text = "{ \"rows\": [ { \"bytes_per_gate\": 53.5, \"bit_identical\": true }, { \"bytes_per_gate\": 54.8, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", text).is_empty());
+    }
+
+    #[test]
+    fn superlinear_bytes_per_gate_growth_is_flagged() {
+        let text = "{ \"rows\": [ { \"bytes_per_gate\": 54.0, \"bit_identical\": true }, { \"bytes_per_gate\": 60.0, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("superlinear memory term"));
+    }
+
+    #[test]
     fn committed_artifacts_are_clean() {
         // The repository's own artifacts must satisfy the guard; the
         // test runs from the crate directory, so walk up to the root.
@@ -309,6 +356,7 @@ mod tests {
             "BENCH_optimize.json",
             "BENCH_analyze.json",
             "BENCH_robust.json",
+            "BENCH_scale.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")

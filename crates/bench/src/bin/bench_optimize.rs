@@ -89,7 +89,7 @@ impl Row {
 
     fn to_json(&self) -> String {
         format!(
-            "    {{\n      \"circuit\": \"{}\",\n      \"inputs\": {},\n      \"gates\": {},\n      \"nodes\": {},\n      \"faults\": {},\n      \"sweeps\": {},\n      \"engine_calls\": {},\n      \"full_node_evals\": {},\n      \"incremental_node_evals\": {},\n      \"incremental_forward_evals\": {},\n      \"incremental_backward_evals\": {},\n      \"full_node_evals_per_sweep\": {:.1},\n      \"incremental_node_evals_per_sweep\": {:.1},\n      \"eval_reduction\": {:.2},\n      \"pending_overlay\": {{\n        \"commit_batch\": {},\n        \"node_evals\": {},\n        \"forward_evals\": {},\n        \"backward_evals\": {},\n        \"pending_moves\": {},\n        \"materializations\": {},\n        \"union_frontier_avg\": {:.1},\n        \"union_frontier_peak\": {},\n        \"eval_reduction_vs_incremental\": {:.2},\n        \"eval_reduction_vs_full\": {:.2},\n        \"seconds\": {:.6},\n        \"speedup_vs_incremental\": {:.3}\n      }},\n      \"full_seconds\": {:.6},\n      \"incremental_seconds\": {:.6},\n      \"speedup\": {:.3},\n      \"improvement_factor\": {:.3},\n      \"bit_identical\": {}\n    }}",
+            "    {{\n      \"circuit\": \"{}\",\n      \"inputs\": {},\n      \"gates\": {},\n      \"nodes\": {},\n      \"faults\": {},\n      \"sweeps\": {},\n      \"engine_calls\": {},\n      \"full_node_evals\": {},\n      \"incremental_node_evals\": {},\n      \"incremental_forward_evals\": {},\n      \"incremental_backward_evals\": {},\n      \"full_node_evals_per_sweep\": {:.1},\n      \"incremental_node_evals_per_sweep\": {:.1},\n      \"eval_reduction\": {:.2},\n      \"pending_overlay\": {{\n        \"commit_batch\": {},\n        \"node_evals\": {},\n        \"forward_evals\": {},\n        \"backward_evals\": {},\n        \"pending_moves\": {},\n        \"cache_hits\": {},\n        \"materializations\": {},\n        \"union_frontier_avg\": {:.1},\n        \"union_frontier_peak\": {},\n        \"eval_reduction_vs_incremental\": {:.2},\n        \"eval_reduction_vs_full\": {:.2},\n        \"seconds\": {:.6},\n        \"speedup_vs_incremental\": {:.3}\n      }},\n      \"full_seconds\": {:.6},\n      \"incremental_seconds\": {:.6},\n      \"speedup\": {:.3},\n      \"improvement_factor\": {:.3},\n      \"bit_identical\": {}\n    }}",
             self.circuit,
             self.inputs,
             self.gates,
@@ -109,6 +109,7 @@ impl Row {
             self.pending_stats.forward_evaluations,
             self.pending_stats.backward_evaluations,
             self.pending_stats.pending_moves,
+            self.pending_stats.pending_cache_hits,
             self.pending_stats.materializations,
             self.avg_union_frontier(),
             self.pending_stats.union_frontier_peak,
@@ -248,7 +249,7 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"optimize_full_vs_incremental_vs_pending_cop\",\n  \"note\": \"eval_reduction is the machine-independent metric: COP node evaluations per optimizer run, full recompute vs cone-restricted per-move incremental (bit-identical descents). pending_overlay tracks the batched engine: coordinate moves are deferred (free) into a union-of-cones frontier and resolved in one shared materialization pass per batch, so its eval_reduction_vs_incremental isolates the batching win — largest on the wide-cone c5315ish and the globally connected c6288ish multiplier, the two circuits whose per-move commits (or stateless fallbacks) used to bound the PR 3 engine. Read alongside BENCH_sim.json, which tracks the fault-simulation (Monte-Carlo engine) side of the same hot path.\",\n  \"max_sweeps\": {},\n  \"commit_batch\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"optimize_full_vs_incremental_vs_pending_cop\",\n  \"note\": \"eval_reduction is the machine-independent metric: COP node evaluations per optimizer run, full recompute vs cone-restricted per-move incremental (bit-identical descents). pending_overlay tracks the batched engine: coordinate moves are deferred (free) into a union-of-cones frontier and resolved in one shared materialization pass per batch, so its eval_reduction_vs_incremental isolates the batching win — largest on the wide-cone c5315ish and the globally connected c6288ish multiplier, the two circuits whose per-move commits (or stateless fallbacks) used to bound the PR 3 engine. cache_hits counts forward recomputations skipped by the cross-query pending value cache (union-frontier values reused across query epochs, invalidated cone-grained per deferred move) — verdict: the extra stamp layer pays, cutting pending forward evals 15.5% and total pending evals 7% on the acceptance circuit c5315ish. Read alongside BENCH_sim.json, which tracks the fault-simulation (Monte-Carlo engine) side of the same hot path.\",\n  \"max_sweeps\": {},\n  \"commit_batch\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         config.max_sweeps,
         commit_batch,
         smoke,

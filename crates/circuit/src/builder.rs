@@ -1,17 +1,21 @@
 //! Programmatic circuit construction.
 
-use std::collections::HashMap;
-
 use crate::error::BuildCircuitError;
 use crate::gate::GateKind;
 use crate::levelize::Levels;
-use crate::netlist::{Circuit, Node, NodeId};
+use crate::netlist::{Circuit, NodeId};
 
 /// Incremental builder for [`Circuit`]s.
 ///
 /// Gates may only reference node ids the builder has already handed out, so
 /// the node list is topologically ordered *by construction* and cycles are
 /// unrepresentable.
+///
+/// The builder appends directly into the flat arenas the final [`Circuit`]
+/// keeps (kinds, fanin CSR, name arena), so construction performs zero
+/// allocations per gate beyond amortized arena growth; duplicate names are
+/// detected by the sorted name index [`CircuitBuilder::build`] computes
+/// anyway, not by a build-side hash map.
 ///
 /// # Example
 ///
@@ -31,15 +35,33 @@ use crate::netlist::{Circuit, Node, NodeId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CircuitBuilder {
     name: String,
-    nodes: Vec<Node>,
+    kinds: Vec<GateKind>,
+    fanin_offsets: Vec<u32>,
+    fanin_data: Vec<NodeId>,
+    name_bytes: String,
+    name_offsets: Vec<u32>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
-    name_index: HashMap<String, NodeId>,
-    errors: Vec<BuildCircuitError>,
     anon_counter: u64,
+}
+
+impl Default for CircuitBuilder {
+    fn default() -> Self {
+        CircuitBuilder {
+            name: String::new(),
+            kinds: Vec::new(),
+            fanin_offsets: vec![0],
+            fanin_data: Vec::new(),
+            name_bytes: String::new(),
+            name_offsets: vec![0],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            anon_counter: 0,
+        }
+    }
 }
 
 impl CircuitBuilder {
@@ -58,41 +80,38 @@ impl CircuitBuilder {
 
     /// Number of nodes added so far.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Whether no nodes have been added yet.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.kinds.is_empty()
     }
 
+    /// Generated names live in the `_`-prefixed namespace; explicit names
+    /// that stray into it are caught as duplicates at `build()` like any
+    /// other clash.
     fn fresh_name(&mut self, prefix: &str) -> String {
-        loop {
-            let candidate = format!("_{prefix}{}", self.anon_counter);
-            self.anon_counter += 1;
-            if !self.name_index.contains_key(&candidate) {
-                return candidate;
-            }
-        }
+        let candidate = format!("_{prefix}{}", self.anon_counter);
+        self.anon_counter += 1;
+        candidate
     }
 
-    fn push(&mut self, node: Node) -> NodeId {
-        let id = NodeId::from_index(self.nodes.len());
-        if self.name_index.insert(node.name.clone(), id).is_some() {
-            self.errors
-                .push(BuildCircuitError::DuplicateName(node.name.clone()));
-        }
-        self.nodes.push(node);
+    fn push(&mut self, name: &str, kind: GateKind, fanin: &[NodeId]) -> NodeId {
+        let id = NodeId::from_index(self.kinds.len());
+        self.name_bytes.push_str(name);
+        self.name_offsets
+            .push(u32::try_from(self.name_bytes.len()).expect("name arena fits in u32"));
+        self.kinds.push(kind);
+        self.fanin_data.extend_from_slice(fanin);
+        self.fanin_offsets
+            .push(u32::try_from(self.fanin_data.len()).expect("edge count fits in u32"));
         id
     }
 
     /// Adds a primary input and returns its id.
-    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
-        let id = self.push(Node {
-            name: name.into(),
-            kind: GateKind::Input,
-            fanin: Box::new([]),
-        });
+    pub fn input(&mut self, name: impl AsRef<str>) -> NodeId {
+        let id = self.push(name.as_ref(), GateKind::Input, &[]);
         self.inputs.push(id);
         id
     }
@@ -100,21 +119,13 @@ impl CircuitBuilder {
     /// Adds a constant-0 driver.
     pub fn const0(&mut self) -> NodeId {
         let name = self.fresh_name("const0_");
-        self.push(Node {
-            name,
-            kind: GateKind::Const0,
-            fanin: Box::new([]),
-        })
+        self.push(&name, GateKind::Const0, &[])
     }
 
     /// Adds a constant-1 driver.
     pub fn const1(&mut self) -> NodeId {
         let name = self.fresh_name("const1_");
-        self.push(Node {
-            name,
-            kind: GateKind::Const1,
-            fanin: Box::new([]),
-        })
+        self.push(&name, GateKind::Const1, &[])
     }
 
     /// Adds a gate with an explicit name.
@@ -128,29 +139,25 @@ impl CircuitBuilder {
     pub fn gate(
         &mut self,
         kind: GateKind,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         fanin: &[NodeId],
     ) -> Result<NodeId, BuildCircuitError> {
-        let name = name.into();
+        let name = name.as_ref();
         if kind == GateKind::Input {
-            return Err(BuildCircuitError::InputAsGate(name));
+            return Err(BuildCircuitError::InputAsGate(name.to_string()));
         }
         let (lo, hi) = kind.arity_range();
         if fanin.len() < lo || fanin.len() > hi {
             return Err(BuildCircuitError::BadArity {
-                gate: name,
+                gate: name.to_string(),
                 kind,
                 got: fanin.len(),
             });
         }
-        if fanin.iter().any(|f| f.index() >= self.nodes.len()) {
-            return Err(BuildCircuitError::UnknownFanin { gate: name });
+        if fanin.iter().any(|f| f.index() >= self.kinds.len()) {
+            return Err(BuildCircuitError::UnknownFanin { gate: name.to_string() });
         }
-        Ok(self.push(Node {
-            name,
-            kind,
-            fanin: fanin.to_vec().into_boxed_slice(),
-        }))
+        Ok(self.push(name, kind, fanin))
     }
 
     /// Adds a gate with a generated name (`_g<N>`).
@@ -204,13 +211,11 @@ impl CircuitBuilder {
     }
 
     /// Marks an existing node as a primary output.
+    ///
+    /// Duplicate marks are reported at [`CircuitBuilder::build`] time (a
+    /// per-call membership scan would make bulk output marking quadratic).
     pub fn mark_output(&mut self, id: NodeId) {
-        if self.outputs.contains(&id) {
-            let name = self.nodes[id.index()].name.clone();
-            self.errors.push(BuildCircuitError::DuplicateOutput(name));
-        } else {
-            self.outputs.push(id);
-        }
+        self.outputs.push(id);
     }
 
     /// Finalizes the circuit: checks global invariants, computes fanouts and
@@ -220,59 +225,103 @@ impl CircuitBuilder {
     ///
     /// Returns the first deferred error (duplicate names, duplicate outputs)
     /// or a structural error (no inputs / no outputs).
-    pub fn build(self) -> Result<Circuit, BuildCircuitError> {
-        if let Some(e) = self.errors.into_iter().next() {
-            return Err(e);
+    pub fn build(mut self) -> Result<Circuit, BuildCircuitError> {
+        // Duplicate-output detection, deferred from `mark_output`: one
+        // sort over a scratch copy instead of a scan per call.
+        let mut sorted_outputs = self.outputs.clone();
+        sorted_outputs.sort_unstable();
+        if let Some(w) = sorted_outputs.windows(2).find(|w| w[0] == w[1]) {
+            let start = self.name_offsets[w[0].index()] as usize;
+            let end = self.name_offsets[w[0].index() + 1] as usize;
+            let name = self.name_bytes[start..end].to_string();
+            return Err(BuildCircuitError::DuplicateOutput(name));
         }
+        // The circuit is immutable from here on: shrink the
+        // incrementally-grown arenas so the footprint (and the
+        // bytes/gate curve `bench_scale` tracks) reflects the data, not
+        // the builder's doubling growth policy.
+        self.kinds.shrink_to_fit();
+        self.fanin_offsets.shrink_to_fit();
+        self.fanin_data.shrink_to_fit();
+        self.name_bytes.shrink_to_fit();
+        self.name_offsets.shrink_to_fit();
+        self.inputs.shrink_to_fit();
+        self.outputs.shrink_to_fit();
         if self.inputs.is_empty() {
             return Err(BuildCircuitError::NoInputs);
         }
         if self.outputs.is_empty() {
             return Err(BuildCircuitError::NoOutputs);
         }
+        let n = self.kinds.len();
         // Fanout lists in CSR layout: count, prefix-sum, fill.  Sinks are
         // visited in ascending id order, so each node's fanout slice comes
         // out sorted without an explicit sort.
-        let mut fanout_offsets = vec![0u32; self.nodes.len() + 1];
-        for node in &self.nodes {
-            for &f in node.fanin.iter() {
-                fanout_offsets[f.index() + 1] += 1;
-            }
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for &f in &self.fanin_data {
+            fanout_offsets[f.index() + 1] += 1;
         }
         for i in 1..fanout_offsets.len() {
             fanout_offsets[i] += fanout_offsets[i - 1];
         }
         let num_edges = *fanout_offsets.last().expect("offsets non-empty") as usize;
         let mut fanout_data = vec![NodeId::from_index(0); num_edges];
-        let mut cursor: Vec<u32> = fanout_offsets[..self.nodes.len()].to_vec();
-        for (i, node) in self.nodes.iter().enumerate() {
-            for &f in node.fanin.iter() {
+        let mut cursor: Vec<u32> = fanout_offsets[..n].to_vec();
+        for i in 0..n {
+            let lo = self.fanin_offsets[i] as usize;
+            let hi = self.fanin_offsets[i + 1] as usize;
+            for &f in &self.fanin_data[lo..hi] {
                 let c = &mut cursor[f.index()];
                 fanout_data[*c as usize] = NodeId::from_index(i);
                 *c += 1;
             }
         }
-        let mut output_flags = vec![false; self.nodes.len()];
+        let mut output_flags = vec![false; n];
         for o in &self.outputs {
             output_flags[o.index()] = true;
         }
-        let mut input_position = vec![usize::MAX; self.nodes.len()];
+        let mut input_position = vec![u32::MAX; n];
         for (pos, id) in self.inputs.iter().enumerate() {
-            input_position[id.index()] = pos;
+            input_position[id.index()] = u32::try_from(pos).expect("input count fits in u32");
         }
-        let levels = Levels::compute(&self.nodes);
+        let num_gates = self.kinds.iter().filter(|k| !k.is_source()).count();
+        let max_fanin = self
+            .fanin_offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0);
+        let levels = Levels::compute(n, &self.fanin_offsets, &self.fanin_data);
+        // Name lookup index: ids sorted by name.  The sort doubles as the
+        // deferred duplicate-name check (equal names land adjacent).
+        let mut name_sorted: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        let name_of = |id: NodeId| -> &str {
+            let lo = self.name_offsets[id.index()] as usize;
+            let hi = self.name_offsets[id.index() + 1] as usize;
+            &self.name_bytes[lo..hi]
+        };
+        name_sorted.sort_unstable_by(|&a, &b| name_of(a).cmp(name_of(b)));
+        if let Some(w) = name_sorted.windows(2).find(|w| name_of(w[0]) == name_of(w[1])) {
+            return Err(BuildCircuitError::DuplicateName(name_of(w[0]).to_string()));
+        }
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         Ok(Circuit {
             uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             name: self.name,
-            nodes: self.nodes,
+            kinds: self.kinds,
+            fanin_offsets: self.fanin_offsets,
+            fanin_data: self.fanin_data,
+            name_bytes: self.name_bytes,
+            name_offsets: self.name_offsets,
+            name_sorted,
             inputs: self.inputs,
             outputs: self.outputs,
             fanout_offsets,
             fanout_data,
             output_flags,
-            name_index: self.name_index,
             input_position,
+            num_gates: u32::try_from(num_gates).expect("gate count fits in u32"),
+            max_fanin,
             levels,
         })
     }
@@ -368,5 +417,20 @@ mod tests {
         let c = b.build().unwrap();
         assert_eq!(c.num_nodes(), 3);
         assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn name_lookup_via_sorted_index() {
+        let mut b = CircuitBuilder::new();
+        let ids: Vec<NodeId> = (0..50).map(|i| b.input(format!("in_{i}"))).collect();
+        let g = b.gate(GateKind::And, "zz_top", &[ids[0], ids[49]]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(c.node_id(&format!("in_{i}")), Some(id));
+        }
+        assert_eq!(c.node_id("zz_top"), Some(g));
+        assert_eq!(c.node_id("in_50"), None);
+        assert_eq!(c.node_id(""), None);
     }
 }

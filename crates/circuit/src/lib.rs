@@ -51,5 +51,5 @@ pub use levelize::Levels;
 pub use netlist::{Circuit, Node, NodeId};
 pub use parse::{parse_bench, parse_bench_named, scan_bench_issues};
 pub use simplify::simplify;
-pub use stats::CircuitStats;
+pub use stats::{CircuitStats, MemoryFootprint};
 pub use write::to_bench;

@@ -1,6 +1,12 @@
 //! The immutable, topologically ordered circuit representation.
+//!
+//! Storage is fully flat: gate kinds, fanin lists, fanout lists, names and
+//! levels all live in a handful of arena vectors (CSR layout for the
+//! variable-length parts), so a circuit performs O(1) heap allocations
+//! regardless of node count and every per-node lookup is an offset into a
+//! contiguous array.  This is what keeps bytes/gate flat from 10^2 to 10^6
+//! gates (see `BENCH_scale.json`).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::gate::GateKind;
@@ -38,29 +44,59 @@ impl fmt::Display for NodeId {
 }
 
 /// One node of a [`Circuit`]: a primary input, constant, or logic gate.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Node {
-    pub(crate) name: String,
-    pub(crate) kind: GateKind,
-    pub(crate) fanin: Box<[NodeId]>,
+///
+/// `Node` is a lightweight `Copy` view into the circuit's flat arenas —
+/// nodes own no storage of their own.  Accessors borrow from the circuit
+/// (`'c`), not from the `Node` value, so `circuit.node(id).fanin()` hands
+/// out a slice that outlives the temporary.
+#[derive(Clone, Copy)]
+pub struct Node<'c> {
+    circuit: &'c Circuit,
+    index: u32,
 }
 
-impl Node {
+impl<'c> Node<'c> {
+    /// The node's id within its circuit.
+    pub fn id(&self) -> NodeId {
+        NodeId(self.index)
+    }
+
     /// The node's name (unique within its circuit).
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'c str {
+        self.circuit.node_name(NodeId(self.index))
     }
 
     /// The logic function of this node.
     pub fn kind(&self) -> GateKind {
-        self.kind
+        self.circuit.kinds[self.index as usize]
     }
 
-    /// The fanin nodes, in declaration order.
-    pub fn fanin(&self) -> &[NodeId] {
-        &self.fanin
+    /// The fanin nodes, in declaration order (a slice into the circuit's
+    /// fanin arena).
+    pub fn fanin(&self) -> &'c [NodeId] {
+        self.circuit.fanin(NodeId(self.index))
     }
 }
+
+impl fmt::Debug for Node<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name())
+            .field("kind", &self.kind())
+            .field("fanin", &self.fanin())
+            .finish()
+    }
+}
+
+impl PartialEq for Node<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind() == other.kind()
+            && self.fanin() == other.fanin()
+            && self.name() == other.name()
+    }
+}
+
+impl Eq for Node<'_> {}
 
 /// An immutable combinational gate-level network.
 ///
@@ -89,8 +125,21 @@ pub struct Circuit {
     /// circuit distinguish equally-named, equally-sized circuits in O(1).
     pub(crate) uid: u64,
     pub(crate) name: String,
-    /// Nodes in topological order (fanin ids < own id).
-    pub(crate) nodes: Vec<Node>,
+    /// Gate kind of each node, in topological order.
+    pub(crate) kinds: Vec<GateKind>,
+    /// Fanin lists in CSR layout: the fanin of node `i` is
+    /// `fanin_data[fanin_offsets[i]..fanin_offsets[i + 1]]`, in declaration
+    /// order.  One flat arena instead of one heap box per node.
+    pub(crate) fanin_offsets: Vec<u32>,
+    pub(crate) fanin_data: Vec<NodeId>,
+    /// Node names, concatenated into one buffer; the name of node `i` is
+    /// `name_bytes[name_offsets[i]..name_offsets[i + 1]]`.
+    pub(crate) name_bytes: String,
+    pub(crate) name_offsets: Vec<u32>,
+    /// Node ids sorted by name — the lookup index behind
+    /// [`Circuit::node_id`] (binary search instead of a per-name
+    /// `HashMap` entry duplicating every name string).
+    pub(crate) name_sorted: Vec<NodeId>,
     pub(crate) inputs: Vec<NodeId>,
     pub(crate) outputs: Vec<NodeId>,
     /// Fanout lists in CSR layout: the sinks of node `i` are
@@ -101,10 +150,14 @@ pub struct Circuit {
     pub(crate) fanout_data: Vec<NodeId>,
     /// `output_flags[i]` is true when node `i` is a primary output.
     pub(crate) output_flags: Vec<bool>,
-    pub(crate) name_index: HashMap<String, NodeId>,
     /// Position of each primary input in `inputs`, by node index
-    /// (`usize::MAX` for non-inputs).
-    pub(crate) input_position: Vec<usize>,
+    /// (`u32::MAX` for non-inputs).
+    pub(crate) input_position: Vec<u32>,
+    /// Number of non-source nodes, precomputed so [`Circuit::num_gates`]
+    /// is O(1) instead of an O(n) scan per call.
+    pub(crate) num_gates: u32,
+    /// Maximum fanin count over all gates, precomputed.
+    pub(crate) max_fanin: u32,
     pub(crate) levels: Levels,
 }
 
@@ -125,7 +178,7 @@ impl Circuit {
 
     /// Total number of nodes, including primary inputs and constants.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Number of primary inputs.
@@ -140,7 +193,7 @@ impl Circuit {
 
     /// Number of logic gates (all nodes that are not sources).
     pub fn num_gates(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.kind.is_source()).count()
+        self.num_gates as usize
     }
 
     /// The node with the given id.
@@ -148,21 +201,34 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this circuit.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        assert!(
+            id.index() < self.kinds.len(),
+            "node id {id} out of range for circuit with {} nodes",
+            self.kinds.len()
+        );
+        Node {
+            circuit: self,
+            index: id.0,
+        }
     }
 
     /// Iterates over `(id, node)` pairs in topological order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId::from_index(i), n))
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Node<'_>)> {
+        (0..self.kinds.len()).map(move |i| {
+            (
+                NodeId::from_index(i),
+                Node {
+                    circuit: self,
+                    index: i as u32,
+                },
+            )
+        })
     }
 
     /// All node ids in topological order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + 'static {
-        (0..self.nodes.len()).map(NodeId::from_index)
+        (0..self.kinds.len()).map(NodeId::from_index)
     }
 
     /// Primary inputs, in declaration order.
@@ -173,6 +239,32 @@ impl Circuit {
     /// Primary outputs, in declaration order.
     pub fn outputs(&self) -> &[NodeId] {
         &self.outputs
+    }
+
+    /// The fanin of `id`, in declaration order (equivalent to
+    /// `self.node(id).fanin()`).
+    pub fn fanin(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        let lo = self.fanin_offsets[i] as usize;
+        let hi = self.fanin_offsets[i + 1] as usize;
+        &self.fanin_data[lo..hi]
+    }
+
+    /// Base index of `id`'s fanin pins in edge-indexed tables.
+    ///
+    /// Per-pin quantities (pin observabilities, pin counts, SCOAP branch
+    /// costs) are stored as flat arrays of length [`Circuit::num_edges`];
+    /// pin `p` of gate `id` lives at `fanin_offset(id) + p`.
+    pub fn fanin_offset(&self, id: NodeId) -> usize {
+        self.fanin_offsets[id.index()] as usize
+    }
+
+    /// The name of a node (equivalent to `self.node(id).name()`).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        let i = id.index();
+        let lo = self.name_offsets[i] as usize;
+        let hi = self.name_offsets[i + 1] as usize;
+        &self.name_bytes[lo..hi]
     }
 
     /// The nodes driven by `id` (its fanout), in ascending id order.
@@ -189,15 +281,18 @@ impl Circuit {
         self.fanout_data.len()
     }
 
-    /// Looks a node up by name.
+    /// Looks a node up by name (binary search over the sorted name index).
     pub fn node_id(&self, name: &str) -> Option<NodeId> {
-        self.name_index.get(name).copied()
+        self.name_sorted
+            .binary_search_by(|&id| self.node_name(id).cmp(name))
+            .ok()
+            .map(|pos| self.name_sorted[pos])
     }
 
     /// If `id` is a primary input, its position within [`Circuit::inputs`].
     pub fn input_position(&self, id: NodeId) -> Option<usize> {
         let p = self.input_position[id.index()];
-        (p != usize::MAX).then_some(p)
+        (p != u32::MAX).then_some(p as usize)
     }
 
     /// Whether `id` is a primary output (`O(1)` bitmap lookup).
@@ -212,7 +307,7 @@ impl Circuit {
 
     /// Maximum fanin count over all gates.
     pub fn max_fanin(&self) -> usize {
-        self.nodes.iter().map(|n| n.fanin.len()).max().unwrap_or(0)
+        self.max_fanin as usize
     }
 
     /// Nodes with more than one fanout (fanout stems), the source of
@@ -289,6 +384,22 @@ mod tests {
     }
 
     #[test]
+    fn node_proxy_borrows_from_circuit_not_temporary() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", &[a]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        // The slice and name must outlive the `Node` temporary.
+        let fanin = c.node(g).fanin();
+        let name = c.node(g).name();
+        assert_eq!(fanin, &[a]);
+        assert_eq!(name, "g");
+        assert_eq!(c.node(g), c.node(g));
+        assert_ne!(c.node(g), c.node(a));
+    }
+
+    #[test]
     fn csr_fanouts_cover_every_fanin_edge() {
         let mut b = CircuitBuilder::new();
         let a = b.input("a");
@@ -311,6 +422,28 @@ mod tests {
                 assert!(w[0] <= w[1]);
             }
         }
+    }
+
+    #[test]
+    fn fanin_offsets_index_edge_tables() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.input("x");
+        let n = b.gate(GateKind::Not, "n", &[a]).unwrap();
+        let g = b.gate(GateKind::And, "g", &[n, x]).unwrap();
+        b.mark_output(g);
+        let c = b.build().unwrap();
+        // Offsets partition 0..num_edges() and respect fanin arity.
+        let mut covered = vec![false; c.num_edges()];
+        for id in c.ids() {
+            let base = c.fanin_offset(id);
+            for pin in 0..c.fanin(id).len() {
+                assert!(!covered[base + pin]);
+                covered[base + pin] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+        assert_eq!(c.fanin(g), &[n, x]);
     }
 
     #[test]

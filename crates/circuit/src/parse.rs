@@ -13,6 +13,12 @@
 //!
 //! Signals may be referenced before they are defined; the parser performs
 //! its own topological ordering and rejects combinational cycles.
+//!
+//! The scan is zero-copy: signal names are `&str` slices borrowed from the
+//! input text and fanin references live in one flat arena, so parsing a
+//! million-gate netlist performs O(gates) small allocations (the builder's
+//! name arena), not O(edges) — the difference between linear and
+//! allocator-bound scaling at the sizes `bench_scale` sweeps.
 
 use std::collections::{HashMap, HashSet};
 
@@ -22,24 +28,37 @@ use crate::gate::GateKind;
 use crate::netlist::{Circuit, NodeId};
 
 #[derive(Debug)]
-struct RawGate {
-    name: String,
+struct RawGate<'a> {
+    name: &'a str,
     kind: GateKind,
-    fanin: Vec<String>,
+    /// Start of this gate's fanin names in [`Scan::fanin_names`].
+    fanin_start: u32,
+    fanin_len: u32,
     line: usize,
+}
+
+/// Borrowed scan of a `.bench` netlist: all names point into the source
+/// text; per-gate fanin lists are slices of one shared arena.
+#[derive(Debug, Default)]
+struct Scan<'a> {
+    inputs: Vec<(&'a str, usize)>,
+    outputs: Vec<(&'a str, usize)>,
+    gates: Vec<RawGate<'a>>,
+    fanin_names: Vec<&'a str>,
+}
+
+impl<'a> Scan<'a> {
+    fn fanin(&self, g: &RawGate<'a>) -> &[&'a str] {
+        let lo = g.fanin_start as usize;
+        &self.fanin_names[lo..lo + g.fanin_len as usize]
+    }
 }
 
 /// Line-level scan of a `.bench` netlist.  Lenient: malformed lines are
 /// reported into `issues` and skipped, so one bad line does not hide
 /// structural problems elsewhere.
-#[allow(clippy::type_complexity)]
-fn scan_lines(
-    text: &str,
-    issues: &mut Vec<ParseBenchError>,
-) -> (Vec<(String, usize)>, Vec<(String, usize)>, Vec<RawGate>) {
-    let mut inputs: Vec<(String, usize)> = Vec::new();
-    let mut outputs: Vec<(String, usize)> = Vec::new();
-    let mut gates: Vec<RawGate> = Vec::new();
+fn scan_lines<'a>(text: &'a str, issues: &mut Vec<ParseBenchError>) -> Scan<'a> {
+    let mut scan = Scan::default();
 
     for (lineno, raw_line) in text.lines().enumerate() {
         let line = lineno + 1;
@@ -52,9 +71,9 @@ fn scan_lines(
             continue;
         }
         if let Some(inner) = strip_call(code, "INPUT") {
-            inputs.push((inner.trim().to_string(), line));
+            scan.inputs.push((inner.trim(), line));
         } else if let Some(inner) = strip_call(code, "OUTPUT") {
-            outputs.push((inner.trim().to_string(), line));
+            scan.outputs.push((inner.trim(), line));
         } else if let Some(eq) = code.find('=') {
             let target = code[..eq].trim();
             let rhs = code[eq + 1..].trim();
@@ -78,44 +97,46 @@ fn scan_lines(
                 }
             };
             let args = &rhs[open + 1..rhs.len() - 1];
-            let fanin: Vec<String> = args
-                .split(',')
-                .map(|a| a.trim().to_string())
-                .filter(|a| !a.is_empty())
-                .collect();
-            gates.push(RawGate {
-                name: target.to_string(),
+            let fanin_start =
+                u32::try_from(scan.fanin_names.len()).expect("fanin arena fits in u32");
+            scan.fanin_names
+                .extend(args.split(',').map(str::trim).filter(|a| !a.is_empty()));
+            let fanin_len =
+                u32::try_from(scan.fanin_names.len()).expect("fanin arena fits in u32")
+                    - fanin_start;
+            scan.gates.push(RawGate {
+                name: target,
                 kind,
-                fanin,
+                fanin_start,
+                fanin_len,
                 line,
             });
         } else {
             issues.push(syntax(line, "expected INPUT(..), OUTPUT(..) or `sig = KIND(..)`"));
         }
     }
-    (inputs, outputs, gates)
+    scan
 }
 
 /// Indexes gate definitions by name, reporting duplicate definitions and
 /// input/gate name conflicts into `issues`.
-fn index_definitions<'g>(
-    inputs: &[(String, usize)],
-    gates: &'g [RawGate],
+fn index_definitions<'a>(
+    scan: &Scan<'a>,
     issues: &mut Vec<ParseBenchError>,
-) -> HashMap<&'g str, usize> {
-    let mut def: HashMap<&str, usize> = HashMap::new();
-    for (i, g) in gates.iter().enumerate() {
-        if def.insert(g.name.as_str(), i).is_some() {
+) -> HashMap<&'a str, usize> {
+    let mut def: HashMap<&str, usize> = HashMap::with_capacity(scan.gates.len());
+    for (i, g) in scan.gates.iter().enumerate() {
+        if def.insert(g.name, i).is_some() {
             issues.push(syntax(
                 g.line,
                 &format!("signal `{}` defined more than once", g.name),
             ));
         }
     }
-    for (name, line) in inputs {
-        if def.contains_key(name.as_str()) {
+    for &(name, line) in &scan.inputs {
+        if def.contains_key(name) {
             issues.push(syntax(
-                *line,
+                line,
                 &format!("signal `{name}` is both an input and a gate output"),
             ));
         }
@@ -146,6 +167,13 @@ pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
     parse_bench_named(text, "bench")
 }
 
+/// Tag bit marking a resolved fanin reference as a primary-input index
+/// (as opposed to a gate index).  Node counts are bounded well below
+/// 2^31 by the `u32` arenas, so the bit is always free.
+const INPUT_REF: u32 = 1 << 31;
+/// Resolved-reference sentinel for a signal nobody defines.
+const UNDEFINED_REF: u32 = u32::MAX;
+
 /// Like [`parse_bench`] but sets the circuit's name.
 ///
 /// # Errors
@@ -153,23 +181,38 @@ pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
 /// Same conditions as [`parse_bench`].
 pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
     let mut issues = Vec::new();
-    let (inputs, outputs, gates) = scan_lines(text, &mut issues);
-    let def = index_definitions(&inputs, &gates, &mut issues);
+    let scan = scan_lines(text, &mut issues);
+    let def = index_definitions(&scan, &mut issues);
     if let Some(first) = issues.into_iter().next() {
         return Err(first);
     }
 
-    // Build: inputs first, then gates in dependency (DFS post) order.
     let mut builder = CircuitBuilder::named(name);
-    let mut ids: HashMap<String, NodeId> = HashMap::new();
-    for (name, _) in &inputs {
-        let id = builder.input(name.clone());
-        ids.insert(name.clone(), id);
+    let mut input_pos: HashMap<&str, u32> = HashMap::with_capacity(scan.inputs.len());
+    let mut input_ids: Vec<NodeId> = Vec::with_capacity(scan.inputs.len());
+    for &(name, _) in &scan.inputs {
+        input_pos.insert(name, u32::try_from(input_ids.len()).expect("inputs fit in u32"));
+        input_ids.push(builder.input(name));
     }
 
-    // Iterative DFS over gate dependencies.
-    let mut mark = vec![Mark::White; gates.len()];
-    for start in 0..gates.len() {
+    // Resolve every fanin name exactly once, up front: the DFS below then
+    // touches only flat arrays — at million-gate scale the per-edge hash
+    // lookups, not the graph walk, dominate this path.
+    let fanin_refs: Vec<u32> = scan
+        .fanin_names
+        .iter()
+        .map(|&f| match def.get(f) {
+            Some(&fi) => u32::try_from(fi).expect("gate count fits in u32"),
+            None => input_pos.get(f).map_or(UNDEFINED_REF, |&p| INPUT_REF | p),
+        })
+        .collect();
+
+    // Iterative DFS over gate dependencies, emitting in dependency
+    // (DFS post) order.  `gate_ids[fi]` is valid once `mark[fi]` is black.
+    let mut mark = vec![Mark::White; scan.gates.len()];
+    let mut gate_ids: Vec<NodeId> = vec![NodeId::from_index(0); scan.gates.len()];
+    let mut fanin_ids: Vec<NodeId> = Vec::new();
+    for start in 0..scan.gates.len() {
         if mark[start] == Mark::Black {
             continue;
         }
@@ -177,47 +220,61 @@ pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, ParseBenchEr
         let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
         mark[start] = Mark::Grey;
         while let Some(&(gi, pos)) = stack.last() {
-            let g = &gates[gi];
-            if pos < g.fanin.len() {
+            let g = &scan.gates[gi];
+            if pos < g.fanin_len as usize {
                 stack.last_mut().expect("stack non-empty").1 += 1;
-                let fname = &g.fanin[pos];
-                if ids.contains_key(fname) {
-                    continue; // already materialized (input or finished gate)
-                }
-                let Some(&fi) = def.get(fname.as_str()) else {
+                let r = fanin_refs[g.fanin_start as usize + pos];
+                if r == UNDEFINED_REF {
                     return Err(ParseBenchError::UndefinedSignal {
-                        signal: fname.clone(),
-                        sink: g.name.clone(),
+                        signal: scan.fanin(g)[pos].to_string(),
+                        sink: g.name.to_string(),
                         line: g.line,
                     });
-                };
-                match mark[fi] {
+                }
+                if r & INPUT_REF != 0 {
+                    continue; // primary input: always materialized
+                }
+                match mark[r as usize] {
                     Mark::Black => {}
-                    Mark::Grey => return Err(cycle_error(&gates, &stack, fi, g.line)),
+                    Mark::Grey => return Err(cycle_error(&scan, &stack, r as usize, g.line)),
                     Mark::White => {
-                        mark[fi] = Mark::Grey;
-                        stack.push((fi, 0));
+                        mark[r as usize] = Mark::Grey;
+                        stack.push((r as usize, 0));
                     }
                 }
             } else {
                 // All fanins materialized: emit this gate.
-                let fanin_ids: Vec<NodeId> =
-                    g.fanin.iter().map(|f| ids[f.as_str()]).collect();
-                let id = builder.gate(g.kind, g.name.clone(), &fanin_ids)?;
-                ids.insert(g.name.clone(), id);
+                let lo = g.fanin_start as usize;
+                fanin_ids.clear();
+                fanin_ids.extend(fanin_refs[lo..lo + g.fanin_len as usize].iter().map(
+                    |&r| {
+                        if r & INPUT_REF != 0 {
+                            input_ids[(r & !INPUT_REF) as usize]
+                        } else {
+                            gate_ids[r as usize]
+                        }
+                    },
+                ));
+                gate_ids[gi] = builder.gate(g.kind, g.name, &fanin_ids)?;
                 mark[gi] = Mark::Black;
                 stack.pop();
             }
         }
     }
 
-    for (oname, line) in &outputs {
-        let Some(&id) = ids.get(oname) else {
-            return Err(ParseBenchError::UndefinedSignal {
-                signal: oname.clone(),
-                sink: "OUTPUT".to_string(),
-                line: *line,
-            });
+    for &(oname, line) in &scan.outputs {
+        let id = match def.get(oname) {
+            Some(&fi) => gate_ids[fi],
+            None => match input_pos.get(oname) {
+                Some(&p) => input_ids[p as usize],
+                None => {
+                    return Err(ParseBenchError::UndefinedSignal {
+                        signal: oname.to_string(),
+                        sink: "OUTPUT".to_string(),
+                        line,
+                    })
+                }
+            },
         };
         builder.mark_output(id);
     }
@@ -236,7 +293,7 @@ enum Mark {
 /// `fi` is re-entered: the stack suffix from `fi`'s frame to the top, with
 /// the loop signal repeated at the end to close the path.
 fn cycle_error(
-    gates: &[RawGate],
+    scan: &Scan<'_>,
     stack: &[(usize, usize)],
     fi: usize,
     line: usize,
@@ -247,9 +304,9 @@ fn cycle_error(
         .expect("grey node is on the DFS stack");
     let mut path: Vec<String> = stack[k..]
         .iter()
-        .map(|&(i, _)| gates[i].name.clone())
+        .map(|&(i, _)| scan.gates[i].name.to_string())
         .collect();
-    path.push(gates[fi].name.clone());
+    path.push(scan.gates[fi].name.to_string());
     ParseBenchError::Cycle { path, line }
 }
 
@@ -274,56 +331,58 @@ fn cycle_error(
 /// ```
 pub fn scan_bench_issues(text: &str) -> Vec<ParseBenchError> {
     let mut issues = Vec::new();
-    let (inputs, outputs, gates) = scan_lines(text, &mut issues);
-    let def = index_definitions(&inputs, &gates, &mut issues);
-    let defined: HashSet<&str> = inputs
+    let scan = scan_lines(text, &mut issues);
+    let def = index_definitions(&scan, &mut issues);
+    let defined: HashSet<&str> = scan
+        .inputs
         .iter()
-        .map(|(n, _)| n.as_str())
-        .chain(gates.iter().map(|g| g.name.as_str()))
+        .map(|&(n, _)| n)
+        .chain(scan.gates.iter().map(|g| g.name))
         .collect();
 
     // Undriven nets: every reference to a signal nobody defines.
     let mut seen: HashSet<(&str, &str)> = HashSet::new();
-    for g in &gates {
-        for fname in &g.fanin {
-            if !defined.contains(fname.as_str()) && seen.insert((fname, &g.name)) {
+    for g in &scan.gates {
+        for &fname in scan.fanin(g) {
+            if !defined.contains(fname) && seen.insert((fname, g.name)) {
                 issues.push(ParseBenchError::UndefinedSignal {
-                    signal: fname.clone(),
-                    sink: g.name.clone(),
+                    signal: fname.to_string(),
+                    sink: g.name.to_string(),
                     line: g.line,
                 });
             }
         }
     }
-    for (oname, line) in &outputs {
-        if !defined.contains(oname.as_str()) {
+    for &(oname, line) in &scan.outputs {
+        if !defined.contains(oname) {
             issues.push(ParseBenchError::UndefinedSignal {
-                signal: oname.clone(),
+                signal: oname.to_string(),
                 sink: "OUTPUT".to_string(),
-                line: *line,
+                line,
             });
         }
     }
 
     // Combinational cycles: same iterative DFS as the parser, but every
     // back edge becomes one finding instead of aborting on the first.
-    let mut mark = vec![Mark::White; gates.len()];
-    for start in 0..gates.len() {
+    let mut mark = vec![Mark::White; scan.gates.len()];
+    for start in 0..scan.gates.len() {
         if mark[start] != Mark::White {
             continue;
         }
         let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
         mark[start] = Mark::Grey;
         while let Some(&(gi, pos)) = stack.last() {
-            let g = &gates[gi];
-            if pos < g.fanin.len() {
+            let g = &scan.gates[gi];
+            let fanin = scan.fanin(g);
+            if pos < fanin.len() {
                 stack.last_mut().expect("stack non-empty").1 += 1;
-                let Some(&fi) = def.get(g.fanin[pos].as_str()) else {
+                let Some(&fi) = def.get(fanin[pos]) else {
                     continue; // primary input or undriven (already reported)
                 };
                 match mark[fi] {
                     Mark::Black => {}
-                    Mark::Grey => issues.push(cycle_error(&gates, &stack, fi, g.line)),
+                    Mark::Grey => issues.push(cycle_error(&scan, &stack, fi, g.line)),
                     Mark::White => {
                         mark[fi] = Mark::Grey;
                         stack.push((fi, 0));

@@ -70,7 +70,7 @@ pub fn simplify(circuit: &Circuit) -> Circuit {
 
     // Primary inputs are all preserved (the interface must not change).
     for &pi in circuit.inputs() {
-        let new_id = builder.input(circuit.node(pi).name().to_string());
+        let new_id = builder.input(circuit.node(pi).name());
         folded[pi.index()] = Some((Folded::Alias(new_id), Some(new_id)));
     }
 
@@ -160,7 +160,7 @@ fn fold_node(
             let inv = inv ^ invert;
             if inv {
                 let new = builder
-                    .gate(GateKind::Not, node.name().to_string(), &[w])
+                    .gate(GateKind::Not, node.name(), &[w])
                     .expect("valid inverter");
                 (Folded::Keep, Some(new))
             } else {
@@ -170,7 +170,7 @@ fn fold_node(
         FoldResult::Gate(base, fanin, inv) => {
             let final_kind = apply_inversion(base, inv ^ invert);
             let new = builder
-                .gate(final_kind, node.name().to_string(), &fanin)
+                .gate(final_kind, node.name(), &fanin)
                 .expect("valid folded gate");
             (Folded::Keep, Some(new))
         }

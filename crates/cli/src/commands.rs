@@ -55,6 +55,11 @@ commands:
            controllability model (default cop — conclusions are identical
            either way, only the backtrack spend differs).  --degrade
            retries guided aborts once with the unguided backtrace.
+  generate [--gates N] [--seed S] [--out FILE]
+           tiled synthetic netlist for scale work: composes the built-in
+           workloads into a lint-clean circuit of at least N gates
+           (default 10000, seed 42), deterministic by (N, seed), written
+           as .bench to FILE or stdout.
   workloads                                       list built-in circuits
 
 <circuit> is a workload name (see `wrt workloads`) or a .bench file path.
@@ -207,7 +212,28 @@ fn experiment_faults(circuit: &Circuit) -> FaultList {
 // Infallible, but every subcommand shares the Result signature the
 // dispatcher in `main` expects.
 #[allow(clippy::unnecessary_wraps)]
-pub fn workloads() -> Result<(), String> {
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let gates: usize = parse_flag(args, "--gates", 10_000)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let circuit = wrt_workloads::tiled(gates, seed);
+    let text = wrt_circuit::to_bench(&circuit);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing `{path}`: {e}"))?;
+            eprintln!(
+                "wrote {} ({} gates, {} inputs, {} outputs) to {path}",
+                circuit.name(),
+                circuit.num_gates(),
+                circuit.num_inputs(),
+                circuit.num_outputs()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+pub fn workloads() {
     for name in wrt_workloads::WORKLOAD_NAMES {
         let circuit = wrt_workloads::by_name(name).expect("registered");
         println!(
@@ -217,12 +243,17 @@ pub fn workloads() -> Result<(), String> {
             circuit.num_gates()
         );
     }
-    Ok(())
 }
 
 pub fn stats(args: &[String]) -> Result<(), String> {
     let circuit = circuit_arg(args)?;
     print!("{}", CircuitStats::of(&circuit));
+    let m = circuit.memory_footprint();
+    println!("{m}");
+    println!(
+        "  bytes/gate: {:.1}",
+        m.bytes_per_gate(circuit.num_gates())
+    );
     Ok(())
 }
 
@@ -280,6 +311,12 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
                 println!("  text: {finding}");
             }
             print!("{report}");
+            let m = circuit.memory_footprint();
+            println!(
+                "memory: {} bytes ({:.1} bytes/gate)",
+                m.total(),
+                m.bytes_per_gate(circuit.num_gates())
+            );
         }
     }
     if json && !lint_only {
@@ -603,7 +640,7 @@ mod tests {
 
     #[test]
     fn commands_run_end_to_end_on_a_small_workload() {
-        assert!(workloads().is_ok());
+        workloads();
         assert!(stats(&args(&["c880ish"])).is_ok());
         assert!(simulate(&args(&["c880ish", "--patterns", "256"])).is_ok());
         assert!(simulate(&args(&["c880ish"])).is_err()); // missing --patterns

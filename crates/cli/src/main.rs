@@ -11,6 +11,7 @@
 //!              [--threads T]
 //! wrt atpg     <netlist.bench | workload> [--backtracks B]
 //!              [--guidance cop|scoap|unguided]
+//! wrt generate [--gates N] [--seed S] [--out FILE]  tiled synthetic netlist
 //! wrt workloads                                    list built-in circuits
 //! ```
 //!
@@ -33,7 +34,11 @@ fn main() -> ExitCode {
         "optimize" => commands::optimize(rest),
         "simulate" => commands::simulate(rest),
         "atpg" => commands::atpg(rest),
-        "workloads" => commands::workloads(),
+        "generate" => commands::generate(rest),
+        "workloads" => {
+            commands::workloads();
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -262,7 +262,7 @@ impl BddManager {
     fn node_function(
         &mut self,
         circuit: &Circuit,
-        node: &wrt_circuit::Node,
+        node: wrt_circuit::Node<'_>,
         id: NodeId,
         fanin_func: impl Fn(NodeId) -> u32,
     ) -> Result<u32, BddOverflow> {

@@ -45,7 +45,7 @@ pub fn signal_probabilities_cop(circuit: &Circuit, input_probs: &[f64]) -> Vec<f
 pub(crate) fn node_probability(
     circuit: &Circuit,
     id: NodeId,
-    node: &Node,
+    node: Node<'_>,
     input_prob: &impl Fn(usize) -> f64,
     p: &impl Fn(NodeId) -> f64,
 ) -> f64 {
@@ -83,32 +83,32 @@ fn xor_prob(ps: impl Iterator<Item = f64>) -> f64 {
 /// `1 − Π (1 − obs_branch)` (capped at 1).
 ///
 /// Returns `(node_observability, pin_observability)` where
-/// `pin_observability[n]` has one entry per fanin pin of node *n*.
+/// `pin_observability` is edge-indexed: the entry for pin `p` of gate `g`
+/// lives at `circuit.fanin_offset(g) + p` — one flat
+/// [`Circuit::num_edges`]-sized array instead of a `Vec` per node.
 ///
 /// # Panics
 ///
 /// Panics if `p.len() != circuit.num_nodes()`.
-pub fn observabilities_cop(circuit: &Circuit, p: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+pub fn observabilities_cop(circuit: &Circuit, p: &[f64]) -> (Vec<f64>, Vec<f64>) {
     assert_eq!(p.len(), circuit.num_nodes(), "one probability per node");
     let n = circuit.num_nodes();
     let mut obs = vec![0.0f64; n];
-    let mut pin_obs: Vec<Vec<f64>> = circuit
-        .iter()
-        .map(|(_, node)| vec![0.0; node.fanin().len()])
-        .collect();
+    let mut pin_obs = vec![0.0f64; circuit.num_edges()];
 
     // Reverse topological order: node ids descending.
     for idx in (0..n).rev() {
         let id = NodeId::from_index(idx);
         obs[idx] = stem_observability(circuit, id, &|sink: NodeId, pin: usize| {
-            pin_obs[sink.index()][pin]
+            pin_obs[circuit.fanin_offset(sink) + pin]
         });
 
         // Pin observabilities of this node's own fanin.
         let node = circuit.node(id);
         let o = obs[idx];
-        for (pin, slot) in pin_obs[idx].iter_mut().enumerate() {
-            *slot = o * pin_sensitivity(node, pin, &|f: NodeId| p[f.index()]);
+        let base = circuit.fanin_offset(id);
+        for pin in 0..node.fanin().len() {
+            pin_obs[base + pin] = o * pin_sensitivity(node, pin, &|f: NodeId| p[f.index()]);
         }
     }
     (obs, pin_obs)
@@ -150,7 +150,7 @@ pub(crate) fn stem_observability(
 /// COP sensitization factor of one gate-input pin: the probability that the
 /// other pins hold non-controlling values (the pin observability is the
 /// gate's stem observability times this factor).
-pub(crate) fn pin_sensitivity(node: &Node, pin: usize, p: &impl Fn(NodeId) -> f64) -> f64 {
+pub(crate) fn pin_sensitivity(node: Node<'_>, pin: usize, p: &impl Fn(NodeId) -> f64) -> f64 {
     let fanin = node.fanin();
     match node.kind() {
         GateKind::And | GateKind::Nand => fanin
@@ -227,8 +227,9 @@ mod tests {
         // a observable iff b = 1 (prob 0.25); b observable iff a = 1 (0.5).
         assert!((obs[a.index()] - 0.25).abs() < 1e-12);
         assert!((obs[b.index()] - 0.5).abs() < 1e-12);
-        assert!((pin_obs[y.index()][0] - 0.25).abs() < 1e-12);
-        assert!((pin_obs[y.index()][1] - 0.5).abs() < 1e-12);
+        let base = c.fanin_offset(y);
+        assert!((pin_obs[base] - 0.25).abs() < 1e-12);
+        assert!((pin_obs[base + 1] - 0.5).abs() < 1e-12);
     }
 
     #[test]

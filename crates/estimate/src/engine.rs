@@ -156,7 +156,7 @@ impl DetectionProbabilityEngine for CopEngine {
                     &fault,
                     &|n: NodeId| p[n.index()],
                     &|n: NodeId| obs[n.index()],
-                    &|g: NodeId, pin: usize| pin_obs[g.index()][pin],
+                    &|g: NodeId, pin: usize| pin_obs[circuit.fanin_offset(g) + pin],
                 )
             })
             .collect()

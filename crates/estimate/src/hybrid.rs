@@ -140,7 +140,7 @@ impl DetectionProbabilityEngine for HybridEngine {
                         let driver = circuit.node(gate).fanin()[pin];
                         let c1 = p[driver.index()];
                         let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
-                        (act, pin_obs[gate.index()][pin])
+                        (act, pin_obs[circuit.fanin_offset(gate) + pin])
                     }
                 };
                 (act * o).clamp(0.0, 1.0)

@@ -141,6 +141,11 @@ pub struct IncrementalStats {
     pub union_frontier_sum: u64,
     /// Largest pending union frontier observed.
     pub union_frontier_peak: u64,
+    /// Forward recomputations skipped by the cross-query pending value
+    /// cache: union-frontier nodes outside the queried coordinate's cone
+    /// whose pending-weight probability was still valid from an earlier
+    /// query epoch (batched mode only).
+    pub pending_cache_hits: u64,
 }
 
 /// A coordinate whose fanout cone covers at least this fraction of the
@@ -205,7 +210,9 @@ struct Baseline {
     weights: Vec<f64>,
     p: Vec<f64>,
     obs: Vec<f64>,
-    pin_obs: Vec<Vec<f64>>,
+    /// Pin observabilities, edge-indexed: pin `pin` of gate `g` lives at
+    /// `circuit.fanin_offset(g) + pin` (same layout as the fanin CSR).
+    pin_obs: Vec<f64>,
 }
 
 /// Incremental cone-restricted COP engine (see the module docs).
@@ -258,6 +265,20 @@ pub struct IncrementalCop {
     union: ConeUnion,
     /// Scratch for `union ∪ cone(queried coordinate)`.
     merged_cone: Vec<NodeId>,
+    /// Cross-query pending value cache: forward (signal-probability)
+    /// values *at the pending weight vector*, live iff the slot's stamp
+    /// equals `pending_token`.  A union-frontier node outside the
+    /// queried coordinate's cone reads the same probability in every
+    /// query epoch until a deferred move dirties it (the query override
+    /// only reaches the queried cone, and fanout closures cannot leak
+    /// into it from outside), so batched query pairs seed their overlay
+    /// from this cache instead of re-walking the frontier from the
+    /// baseline.  Invalidation is cone-grained: each deferred move
+    /// clears exactly its own fanout cone; materialization and rebuilds
+    /// retire the whole layer by advancing the token.
+    pending_p_scratch: Vec<f64>,
+    pending_p_stamp: Vec<u32>,
+    pending_token: u32,
     baseline: Option<Baseline>,
     cones: FanoutCones,
     /// Circuit the cone cache belongs to (the cache outlives baseline
@@ -271,7 +292,8 @@ pub struct IncrementalCop {
     /// One stamp for a node's observability *and* its pin observabilities
     /// (they are always recomputed together).
     obs_stamp: Vec<u32>,
-    pin_scratch: Vec<Vec<f64>>,
+    /// Edge-indexed like [`Baseline::pin_obs`].
+    pin_scratch: Vec<f64>,
     queue_stamp: Vec<u32>,
     touched_p: Vec<NodeId>,
     touched_obs: Vec<NodeId>,
@@ -298,6 +320,9 @@ impl Default for IncrementalCop {
             pending_count: 0,
             union: ConeUnion::new(),
             merged_cone: Vec::new(),
+            pending_p_scratch: Vec::new(),
+            pending_p_stamp: Vec::new(),
+            pending_token: 1,
             baseline: None,
             cones: FanoutCones::new(),
             cone_fingerprint: None,
@@ -453,6 +478,9 @@ impl IncrementalCop {
         self.pending_weights.extend_from_slice(weights);
         self.pending_count = 0;
         self.union.clear();
+        self.pending_p_scratch = vec![0.0; n];
+        self.pending_p_stamp = vec![0; n];
+        self.pending_token = 1;
         self.baseline = Some(Baseline {
             fingerprint,
             weights: weights.to_vec(),
@@ -512,7 +540,7 @@ impl IncrementalCop {
             }
             self.stats.incremental_commits += 1;
             self.perturb(circuit, coordinate, value);
-            self.commit(coordinate, value);
+            self.commit(circuit, coordinate, value);
         }
     }
 
@@ -525,6 +553,11 @@ impl IncrementalCop {
         self.pending_weights[coordinate] = value;
         let root = circuit.inputs()[coordinate];
         let cone = self.cones.cone(circuit, root);
+        // Cross-query cache: only this move's cone can read the changed
+        // weight; every other cached pending value stays valid.
+        for &id in cone {
+            self.pending_p_stamp[id.index()] = 0;
+        }
         self.union.absorb(cone);
         self.pending_count += 1;
         let frontier = self.union.len();
@@ -577,25 +610,32 @@ impl IncrementalCop {
         // Fold the overlay into the baseline and retire the layer.
         let baseline = self.baseline.as_mut().expect("materialize needs a baseline");
         baseline.weights.copy_from_slice(&self.pending_weights);
-        self.fold_overlay_into_baseline();
+        self.fold_overlay_into_baseline(circuit);
         self.union.clear();
         self.pending_count = 0;
+        // The cached values now coincide with the new baseline: retire
+        // the whole layer by advancing the token (amortized O(1)).
+        self.pending_token = self.pending_token.wrapping_add(1);
+        if self.pending_token == 0 {
+            self.pending_p_stamp.fill(0);
+            self.pending_token = 1;
+        }
     }
 
     /// Writes the current overlay into the baseline, moving the baseline
     /// weight vector to the perturbed point.
-    fn commit(&mut self, coordinate: usize, value: f64) {
+    fn commit(&mut self, circuit: &Circuit, coordinate: usize, value: f64) {
         let baseline = self.baseline.as_mut().expect("commit needs a baseline");
         baseline.weights[coordinate] = value;
         self.pending_weights[coordinate] = value;
-        self.fold_overlay_into_baseline();
+        self.fold_overlay_into_baseline(circuit);
     }
 
     /// Copies every epoch-touched overlay value (probabilities,
     /// observabilities, pin observabilities) into the baseline — the
     /// value half of a commit, shared by the per-move and materializing
     /// paths; callers update the baseline weight vector themselves.
-    fn fold_overlay_into_baseline(&mut self) {
+    fn fold_overlay_into_baseline(&mut self, circuit: &Circuit) {
         let baseline = self.baseline.as_mut().expect("fold needs a baseline");
         for &id in &self.touched_p {
             baseline.p[id.index()] = self.p_scratch[id.index()];
@@ -603,7 +643,9 @@ impl IncrementalCop {
         for &id in &self.touched_obs {
             let idx = id.index();
             baseline.obs[idx] = self.obs_scratch[idx];
-            baseline.pin_obs[idx].copy_from_slice(&self.pin_scratch[idx]);
+            let lo = circuit.fanin_offset(id);
+            let hi = lo + circuit.fanin(id).len();
+            baseline.pin_obs[lo..hi].copy_from_slice(&self.pin_scratch[lo..hi]);
         }
     }
 
@@ -692,6 +734,33 @@ impl IncrementalCop {
             return; // identity perturbation: the baseline answers as-is
         }
         self.stats.perturbations += 1;
+        if self.pending_count > 0 {
+            // Seed this epoch's overlay from the cross-query cache:
+            // union-frontier nodes outside the queried cone hold their
+            // pending-weight probability in every epoch (the query
+            // override cannot reach them — a node reading input i's
+            // weight or any cone-dirty fanin would itself be in
+            // `cone(root)` by fanout closure), so a live cached slot is
+            // exactly what the lazy walk would recompute.  Seeded stamps
+            // short-circuit the DFS before it re-walks the frontier.
+            let root_cone = self.cones.cone(circuit, root);
+            let token = self.pending_token;
+            let mut j = 0;
+            for &id in self.union.as_slice() {
+                while j < root_cone.len() && root_cone[j] < id {
+                    j += 1;
+                }
+                if j < root_cone.len() && root_cone[j] == id {
+                    continue; // queried cone: depends on the override
+                }
+                let idx = id.index();
+                if self.pending_p_stamp[idx] == token {
+                    self.p_scratch[idx] = self.pending_p_scratch[idx];
+                    self.p_stamp[idx] = epoch;
+                    self.stats.pending_cache_hits += 1;
+                }
+            }
+        }
         // The merged (union ∪ cone) frontier is prepared once per query
         // pair by `refresh_merged_cone`; both boundary-point overlays of
         // the pair read the same merged view.
@@ -759,6 +828,29 @@ impl IncrementalCop {
                 &mut self.stats,
                 activation,
             );
+        }
+
+        // Harvest: every union-frontier probability this epoch computed
+        // outside the queried cone is a pending-weight value (same
+        // closure argument as the seed above) — bank it so the next
+        // query epoch starts from it instead of the baseline.
+        if self.pending_count > 0 {
+            let root_cone = self.cones.cone(circuit, root);
+            let token = self.pending_token;
+            let mut j = 0;
+            for &id in self.union.as_slice() {
+                while j < root_cone.len() && root_cone[j] < id {
+                    j += 1;
+                }
+                if j < root_cone.len() && root_cone[j] == id {
+                    continue;
+                }
+                let idx = id.index();
+                if self.p_stamp[idx] == epoch && self.pending_p_stamp[idx] != token {
+                    self.pending_p_scratch[idx] = self.p_scratch[idx];
+                    self.pending_p_stamp[idx] = token;
+                }
+            }
         }
     }
 
@@ -837,7 +929,7 @@ impl IncrementalCop {
                     &fault,
                     &|x: NodeId| p[x.index()],
                     &|x: NodeId| obs[x.index()],
-                    &|g: NodeId, pin: usize| pin_obs[g.index()][pin],
+                    &|g: NodeId, pin: usize| pin_obs[circuit.fanin_offset(g) + pin],
                 )
             })
             .collect()
@@ -862,10 +954,11 @@ impl IncrementalCop {
             }
         };
         let pin_obs = |g: NodeId, pin: usize| {
+            let e = circuit.fanin_offset(g) + pin;
             if self.obs_stamp[g.index()] == epoch {
-                self.pin_scratch[g.index()][pin]
+                self.pin_scratch[e]
             } else {
-                baseline.pin_obs[g.index()][pin]
+                baseline.pin_obs[e]
             }
         };
         faults
@@ -881,7 +974,7 @@ impl IncrementalCop {
 /// BUF pins sensitize unconditionally, so such gates need backward
 /// recomputation only when their own stem observability moves — which
 /// push-on-change propagation covers without seeding them.
-fn sens_reacts(node: &wrt_circuit::Node) -> bool {
+fn sens_reacts(node: wrt_circuit::Node<'_>) -> bool {
     matches!(
         node.kind(),
         GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
@@ -915,7 +1008,7 @@ fn eager_overlay_walk(
     p_scratch: &mut [f64],
     obs_stamp: &mut [u32],
     obs_scratch: &mut [f64],
-    pin_scratch: &mut [Vec<f64>],
+    pin_scratch: &mut [f64],
     queue_stamp: &mut [u32],
     touched_p: &mut Vec<NodeId>,
     touched_obs: &mut Vec<NodeId>,
@@ -1071,7 +1164,7 @@ fn recompute_obs_node(
     p_scratch: &mut [f64],
     obs_stamp: &mut [u32],
     obs_scratch: &mut [f64],
-    pin_scratch: &mut [Vec<f64>],
+    pin_scratch: &mut [f64],
     queue_stamp: &mut [u32],
     heap: &mut BinaryHeap<usize>,
     touched_obs: &mut Vec<NodeId>,
@@ -1079,10 +1172,11 @@ fn recompute_obs_node(
 ) {
     let id = NodeId::from_index(idx);
     let new_obs = stem_observability(circuit, id, &|sink: NodeId, pin: usize| {
+        let e = circuit.fanin_offset(sink) + pin;
         if obs_stamp[sink.index()] == epoch {
-            pin_scratch[sink.index()][pin]
+            pin_scratch[e]
         } else {
-            baseline.pin_obs[sink.index()][pin]
+            baseline.pin_obs[e]
         }
     });
     stats.node_evaluations += 1;
@@ -1101,7 +1195,8 @@ fn recompute_obs_node(
         }
     }
     obs_scratch[idx] = new_obs;
-    for (pin, slot) in pin_scratch[idx].iter_mut().enumerate() {
+    let base = circuit.fanin_offset(id);
+    for pin in 0..node.fanin().len() {
         let sens = pin_sensitivity(node, pin, &|f: NodeId| {
             if p_stamp[f.index()] == epoch {
                 p_scratch[f.index()]
@@ -1109,12 +1204,12 @@ fn recompute_obs_node(
                 baseline.p[f.index()]
             }
         });
-        *slot = new_obs * sens;
+        pin_scratch[base + pin] = new_obs * sens;
     }
     obs_stamp[idx] = epoch;
     touched_obs.push(id);
     for (pin, &f) in node.fanin().iter().enumerate() {
-        if pin_scratch[idx][pin] != baseline.pin_obs[idx][pin] {
+        if pin_scratch[base + pin] != baseline.pin_obs[base + pin] {
             let fi = f.index();
             let gated_out = query_gate
                 .is_some_and(|(query_stamp, token)| query_stamp[fi] != token);
@@ -1383,6 +1478,52 @@ mod tests {
             // Everything resolved: the final estimate materialized.
             assert_eq!(inc.pending_len(), 0);
         }
+    }
+
+    #[test]
+    fn cross_query_pending_cache_hits_and_stays_bit_identical() {
+        // Disjoint input supports: deferring a move on `c` dirties only
+        // the m/n/z tree, and querying coordinate 0 (`a`, whose cone is
+        // just `y`) leaves that frontier untouched — so the second
+        // boundary point of a pair, and every later pair, must reuse
+        // the frontier's pending-weight probabilities from the
+        // cross-query cache instead of re-walking them.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+             y = AND(a, b)\nm = OR(c, d)\nn = XOR(c, m)\nz = NAND(m, n)\n",
+        )
+        .unwrap();
+        let faults = FaultList::checkpoints(&c);
+        let mut inc = IncrementalCop::new().with_commit_batch(64);
+        let mut full = CopEngine::new();
+        let mut w = [0.5, 0.5, 0.5, 0.5];
+        let _ = inc.estimate(&c, &faults, &w);
+        w[2] = 0.8; // deferred: the m/n/z cone is now the pending frontier
+        for (step, coordinate) in [0usize, 1, 0].into_iter().enumerate() {
+            let got = inc.estimate_coordinate_pair(&c, &faults, &w, coordinate);
+            let expected = full.estimate_coordinate_pair(&c, &faults, &w, coordinate);
+            assert_eq!(
+                (bits(&got.0), bits(&got.1)),
+                (bits(&expected.0), bits(&expected.1)),
+                "step {step}"
+            );
+        }
+        assert_eq!(inc.pending_len(), 1, "the move stayed deferred throughout");
+        assert!(
+            inc.stats().pending_cache_hits > 0,
+            "repeated query epochs over an unchanged frontier must hit the cache"
+        );
+        // A second deferred move invalidates exactly its own cone; the
+        // answers must stay bit-identical through the cone-grained
+        // invalidation and the eventual materialization.
+        w[3] = 0.25;
+        let got = inc.estimate_coordinate_pair(&c, &faults, &w, 0);
+        let expected = full.estimate_coordinate_pair(&c, &faults, &w, 0);
+        assert_eq!(bits(&got.0), bits(&expected.0));
+        assert_eq!(bits(&got.1), bits(&expected.1));
+        let final_got = inc.estimate(&c, &faults, &w);
+        let final_expected = full.estimate(&c, &faults, &w);
+        assert_eq!(bits(&final_got), bits(&final_expected));
     }
 
     #[test]

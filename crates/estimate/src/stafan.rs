@@ -18,14 +18,19 @@ pub struct StafanCounts {
     num_patterns: u64,
     /// Count of patterns where the node was 1.
     ones: Vec<u64>,
-    /// Per node, per fanin pin: count of patterns where the pin was
-    /// one-level sensitized (a change at the pin would flip the gate).
-    sensitized: Vec<Vec<u64>>,
+    /// Fanin-CSR pin offsets copied from the circuit, so the pin-indexed
+    /// accessors keep their `(gate, pin)` signatures without holding a
+    /// circuit borrow: pin `p` of gate `g` is edge `pin_offsets[g] + p`.
+    pin_offsets: Vec<u32>,
+    /// Edge-indexed (see [`Self::pin_offsets`]): count of patterns where
+    /// the pin was one-level sensitized (a change at the pin would flip
+    /// the gate).
+    sensitized: Vec<u64>,
     /// Estimated probability that a change at the node reaches a primary
     /// output (reverse-propagated).
     observability: Vec<f64>,
-    /// Per node, per pin: estimated branch observability.
-    pin_observability: Vec<Vec<f64>>,
+    /// Edge-indexed estimated branch observability.
+    pin_observability: Vec<f64>,
 }
 
 impl StafanCounts {
@@ -52,10 +57,11 @@ impl StafanCounts {
         assert_eq!(source.num_inputs(), circuit.num_inputs());
         let n = circuit.num_nodes();
         let mut ones = vec![0u64; n];
-        let mut sensitized: Vec<Vec<u64>> = circuit
-            .iter()
-            .map(|(_, node)| vec![0u64; node.fanin().len()])
+        let pin_offsets: Vec<u32> = circuit
+            .ids()
+            .map(|id| circuit.fanin_offset(id) as u32)
             .collect();
+        let mut sensitized = vec![0u64; circuit.num_edges()];
         let mut sim = LogicSim::new(circuit);
         let mut done = 0u64;
         while done < num_patterns {
@@ -67,9 +73,10 @@ impl StafanCounts {
             for (id, node) in circuit.iter() {
                 ones[id.index()] += u64::from((sim.value(id) & mask).count_ones());
                 let fanin = node.fanin();
-                for (pin, slot) in sensitized[id.index()].iter_mut().enumerate() {
+                let base = circuit.fanin_offset(id);
+                for pin in 0..fanin.len() {
                     let sens = one_level_sensitization(&sim, node.kind(), fanin, pin);
-                    *slot += u64::from((sens & mask).count_ones());
+                    sensitized[base + pin] += u64::from((sens & mask).count_ones());
                 }
             }
             done += u64::from(block.len);
@@ -77,10 +84,7 @@ impl StafanCounts {
 
         // Reverse pass: observabilities from counted sensitization rates.
         let mut observability = vec![0.0f64; n];
-        let mut pin_observability: Vec<Vec<f64>> = circuit
-            .iter()
-            .map(|(_, node)| vec![0.0; node.fanin().len()])
-            .collect();
+        let mut pin_observability = vec![0.0f64; circuit.num_edges()];
         for idx in (0..n).rev() {
             let id = NodeId::from_index(idx);
             let mut miss = 1.0f64;
@@ -90,27 +94,36 @@ impl StafanCounts {
                 any = true;
             }
             for &sink in circuit.fanout(id) {
+                let sink_base = circuit.fanin_offset(sink);
                 for (pin, &f) in circuit.node(sink).fanin().iter().enumerate() {
                     if f == id {
-                        miss *= 1.0 - pin_observability[sink.index()][pin];
+                        miss *= 1.0 - pin_observability[sink_base + pin];
                         any = true;
                     }
                 }
             }
             observability[idx] = if any { 1.0 - miss } else { 0.0 };
             let o = observability[idx];
-            for (pin, &count) in sensitized[idx].iter().enumerate() {
-                pin_observability[idx][pin] = o * counted_rate(count, num_patterns);
+            let base = circuit.fanin_offset(id);
+            for pin in 0..circuit.fanin(id).len() {
+                pin_observability[base + pin] =
+                    o * counted_rate(sensitized[base + pin], num_patterns);
             }
         }
 
         StafanCounts {
             num_patterns,
             ones,
+            pin_offsets,
             sensitized,
             observability,
             pin_observability,
         }
+    }
+
+    /// Edge index of pin `pin` of gate `gate` (see [`Self::pin_offsets`]).
+    fn pin(&self, gate: NodeId, pin: usize) -> usize {
+        self.pin_offsets[gate.index()] as usize + pin
     }
 
     /// Number of patterns the counts were taken over.
@@ -132,7 +145,7 @@ impl StafanCounts {
     /// Counted one-level sensitization rate of a gate input pin (`0.0`
     /// over an empty sample).
     pub fn sensitization(&self, gate: NodeId, pin: usize) -> f64 {
-        counted_rate(self.sensitized[gate.index()][pin], self.num_patterns)
+        counted_rate(self.sensitized[self.pin(gate, pin)], self.num_patterns)
     }
 
     /// Detection-probability estimate for one fault:
@@ -153,7 +166,7 @@ impl StafanCounts {
                 let driver = circuit.node(gate).fanin()[pin];
                 let c1 = self.controllability1(driver);
                 let act = if fault.stuck_value { 1.0 - c1 } else { c1 };
-                (act, self.pin_observability[gate.index()][pin])
+                (act, self.pin_observability[self.pin(gate, pin)])
             }
         };
         (act * obs).clamp(0.0, 1.0)

@@ -41,8 +41,11 @@ use crate::list::{FaultId, FaultList};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPartition {
-    /// Per shard: ids into the originating fault list.
-    shards: Vec<Vec<FaultId>>,
+    /// Shard boundaries in CSR layout: shard `s` is
+    /// `data[offsets[s]..offsets[s + 1]]`.  Two flat arrays instead of one
+    /// heap allocation per shard.
+    offsets: Vec<u32>,
+    data: Vec<FaultId>,
 }
 
 impl FaultPartition {
@@ -72,57 +75,59 @@ impl FaultPartition {
         let total: u64 = order.iter().map(|&(root, _)| weight(root)).sum();
 
         let num_shards = num_shards.min(order.len()).max(1);
-        let mut shards: Vec<Vec<FaultId>> = Vec::with_capacity(num_shards);
-        let mut current: Vec<FaultId> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::with_capacity(num_shards + 1);
+        offsets.push(0);
+        let mut data: Vec<FaultId> = Vec::with_capacity(order.len());
         let mut spent = 0u64;
         for (k, &(root, id)) in order.iter().enumerate() {
-            current.push(id);
+            data.push(id);
             spent += weight(root);
-            if shards.len() + 1 == num_shards {
+            if offsets.len() == num_shards {
                 continue; // the last shard absorbs the tail
             }
             // Cut when this shard reached its proportional share of the
             // total cost — preferably at a root boundary, so faults sharing
             // a cone stay together — and always early enough that every
             // remaining shard can still receive at least one fault.
-            let filled = shards.len() as u64 + 1;
+            let filled = offsets.len() as u64;
             let target = total * filled / num_shards as u64;
             let remaining_faults = order.len() - (k + 1);
-            let remaining_shards = num_shards - shards.len() - 1;
+            let remaining_shards = num_shards - offsets.len();
             let at_root_boundary =
                 order.get(k + 1).is_none_or(|&(next, _)| next != root);
             let must_cut = remaining_faults == remaining_shards;
             if must_cut || (spent >= target && at_root_boundary && remaining_faults >= remaining_shards)
             {
-                shards.push(std::mem::take(&mut current));
+                offsets.push(data.len() as u32);
                 // `spent` accumulates across shards against the shared
                 // prefix target, so do not reset it.
             }
         }
-        if !current.is_empty() || shards.is_empty() {
-            shards.push(current);
+        if data.len() as u32 > *offsets.last().expect("offsets non-empty")
+            || offsets.len() == 1
+        {
+            offsets.push(data.len() as u32);
         }
-        FaultPartition { shards }
+        FaultPartition { offsets, data }
     }
 
     /// Partitions `0..num_faults` into round-robin shards, ignoring cone
     /// structure.  Useful as a locality-blind baseline.
     pub fn round_robin(num_faults: usize, num_shards: usize) -> Self {
         let num_shards = num_shards.clamp(1, num_faults.max(1));
-        let mut shards: Vec<Vec<FaultId>> = vec![Vec::new(); num_shards];
-        for i in 0..num_faults {
-            shards[i % num_shards].push(FaultId::from_index(i));
+        let mut offsets: Vec<u32> = Vec::with_capacity(num_shards + 1);
+        offsets.push(0);
+        let mut data: Vec<FaultId> = Vec::with_capacity(num_faults);
+        for s in 0..num_shards {
+            data.extend((s..num_faults).step_by(num_shards).map(FaultId::from_index));
+            offsets.push(data.len() as u32);
         }
-        shards.retain(|s| !s.is_empty());
-        if shards.is_empty() {
-            shards.push(Vec::new());
-        }
-        FaultPartition { shards }
+        FaultPartition { offsets, data }
     }
 
     /// Number of shards (≥ 1; at most the requested shard count).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.offsets.len() - 1
     }
 
     /// The fault ids of shard `s`.
@@ -131,12 +136,16 @@ impl FaultPartition {
     ///
     /// Panics if `s >= self.num_shards()`.
     pub fn shard(&self, s: usize) -> &[FaultId] {
-        &self.shards[s]
+        let lo = self.offsets[s] as usize;
+        let hi = self.offsets[s + 1] as usize;
+        &self.data[lo..hi]
     }
 
     /// Iterates over all shards.
     pub fn shards(&self) -> impl Iterator<Item = &[FaultId]> {
-        self.shards.iter().map(Vec::as_slice)
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.data[w[0] as usize..w[1] as usize])
     }
 
     /// Materializes shard `s` of `faults` as its own [`FaultList`]
@@ -147,7 +156,7 @@ impl FaultPartition {
     /// Panics if `s` is out of range or the shard references ids outside
     /// `faults`.
     pub fn sublist(&self, faults: &FaultList, s: usize) -> FaultList {
-        self.shards[s].iter().map(|&id| faults.fault(id)).collect()
+        self.shard(s).iter().map(|&id| faults.fault(id)).collect()
     }
 }
 

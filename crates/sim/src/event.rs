@@ -444,6 +444,9 @@ pub fn count_set_bits<const W: usize>(lanes: &[u64; W]) -> u32 {
     lanes.iter().map(|lane| lane.count_ones()).sum()
 }
 
+/// Sentinel for "no node" in the intrusive ready chains.
+const NIL: u32 = u32::MAX;
+
 #[inline]
 fn and_mask<const W: usize>(mut lanes: [u64; W], mask: &[u64; W]) -> [u64; W] {
     for (l, m) in lanes.iter_mut().zip(mask) {
@@ -499,8 +502,15 @@ pub struct EventSimulator<'c, const W: usize> {
     /// Ready-set membership stamp (invariant 2 in the module docs).
     queued: Vec<u32>,
     epoch: u32,
-    /// Level-indexed ready buckets, always empty between passes.
-    buckets: Vec<Vec<u32>>,
+    /// Level-indexed ready chains, intrusively linked: `bucket_head[l]`
+    /// is the most recently scheduled node at level `l` (`NIL` when the
+    /// level is empty) and `bucket_next[n]` links node `n` to the next
+    /// ready node of its level.  Two flat O(depth)/O(nodes) arrays
+    /// replace one heap-allocated `Vec` per level; within-level order is
+    /// irrelevant because every fanin of a level-`l` node sits strictly
+    /// below `l`.
+    bucket_head: Box<[u32]>,
+    bucket_next: Box<[u32]>,
     /// Min-heap of levels whose bucket is non-empty, so the drain loop
     /// hops directly between occupied levels instead of probing every
     /// level up to the deepest scheduled node (on deep circuits the empty
@@ -524,7 +534,8 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
             touched: vec![0; n],
             queued: vec![0; n],
             epoch: 0,
-            buckets: vec![Vec::new(); circuit.levels().depth() as usize + 1],
+            bucket_head: vec![NIL; circuit.levels().depth() as usize + 1].into_boxed_slice(),
+            bucket_next: vec![NIL; n].into_boxed_slice(),
             active_levels: std::collections::BinaryHeap::new(),
             level: circuit.ids().map(|id| circuit.levels().level(id)).collect(),
             stats: SimStats::default(),
@@ -580,10 +591,12 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
             self.queued[si] = epoch;
             let lvl = self.level[si];
             debug_assert!(lvl > above, "scheduling is strictly upward");
-            if self.buckets[lvl as usize].is_empty() {
+            let head = &mut self.bucket_head[lvl as usize];
+            if *head == NIL {
                 self.active_levels.push(std::cmp::Reverse(lvl));
             }
-            self.buckets[lvl as usize].push(si as u32);
+            self.bucket_next[si] = *head;
+            *head = si as u32;
         }
     }
 
@@ -636,8 +649,10 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
             self.schedule(s, epoch, root_level);
         }
         while let Some(std::cmp::Reverse(lvl)) = self.active_levels.pop() {
-            let mut bucket = std::mem::take(&mut self.buckets[lvl as usize]);
-            for &ni in &bucket {
+            // Detach the whole chain; draining schedules only into strictly
+            // higher levels, so the links we walk are never rewritten.
+            let mut ni = std::mem::replace(&mut self.bucket_head[lvl as usize], NIL);
+            while ni != NIL {
                 let n = NodeId::from_index(ni as usize);
                 let node = circuit.node(n);
                 debug_assert!(node.kind() != GateKind::Input);
@@ -664,9 +679,8 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
                         self.schedule(s, epoch, lvl);
                     }
                 }
+                ni = self.bucket_next[ni as usize];
             }
-            bucket.clear();
-            self.buckets[lvl as usize] = bucket;
         }
 
         if !output_touched {

@@ -117,14 +117,14 @@ pub(crate) fn rename(c: Circuit, name: &str) -> Circuit {
     let mut map = vec![None; c.num_nodes()];
     for (id, node) in c.iter() {
         let new = match node.kind() {
-            wrt_circuit::GateKind::Input => b.input(node.name().to_string()),
+            wrt_circuit::GateKind::Input => b.input(node.name()),
             kind => {
                 let fanin: Vec<NodeId> = node
                     .fanin()
                     .iter()
                     .map(|f| map[f.index()].expect("topological order"))
                     .collect();
-                b.gate(kind, node.name().to_string(), &fanin)
+                b.gate(kind, node.name(), &fanin)
                     .expect("copy of valid circuit")
             }
         };

@@ -32,6 +32,7 @@ mod interrupt;
 mod multiplier;
 mod pathological;
 mod registry;
+mod scale;
 
 pub use adder_cmp::{adder_comparator, c2670ish, c7552ish};
 pub use alu::{alu, c3540ish, c5315ish, c880ish};
@@ -42,3 +43,4 @@ pub use interrupt::{c432ish, priority_interrupt};
 pub use multiplier::{array_multiplier, c6288ish};
 pub use pathological::pathological_pair;
 pub use registry::{all_paper_circuits, by_name, starred_circuits, WORKLOAD_NAMES};
+pub use scale::tiled;

@@ -57,6 +57,55 @@ fn every_registry_circuit_builds_levelizes_and_round_trips() {
     }
 }
 
+/// The tiled scale generator holds the same bar as the registry at every
+/// size: lint-clean (structural lints over SCOAP), valid levelization,
+/// a `.bench` round trip, and exact reproduction from `(gates, seed)`.
+#[test]
+fn tiled_generator_is_lint_clean_levelized_and_deterministic() {
+    for (target, seed) in [(2_000usize, 11u64), (10_000, 11), (30_000, 5)] {
+        let circuit = wrt::workloads::tiled(target, seed);
+        assert!(circuit.num_gates() >= target, "tiled({target}, {seed}) undershoots");
+
+        // Structural lints (floating inputs, dead gates, constant gates)
+        // must not fire at any size: the stitching marks every
+        // unconsumed signal as an output by construction.
+        let report = wrt::analyze::analyze(&circuit);
+        assert!(
+            report.findings.is_empty(),
+            "tiled({target}, {seed}): {:?}",
+            report.findings
+        );
+
+        // Levelization validity: every gate strictly above its fanin.
+        let levels = circuit.levels();
+        for (id, node) in circuit.iter() {
+            for &f in node.fanin() {
+                assert!(
+                    levels.level(f) < levels.level(id),
+                    "tiled({target}, {seed}): {id} not above fanin {f}"
+                );
+            }
+        }
+
+        // `.bench` write → parse round trip preserves the structure.
+        let text = to_bench(&circuit);
+        let reparsed =
+            parse_bench_named(&text, circuit.name()).expect("tiled netlist reparses");
+        assert_eq!(reparsed.num_gates(), circuit.num_gates());
+        assert_eq!(reparsed.num_inputs(), circuit.num_inputs());
+        assert_eq!(reparsed.num_outputs(), circuit.num_outputs());
+
+        // Deterministic reproduction, node for node.
+        let again = wrt::workloads::tiled(target, seed);
+        assert_eq!(again.num_nodes(), circuit.num_nodes());
+        for (id, node) in circuit.iter() {
+            let other = again.node(id);
+            assert_eq!(node.kind(), other.kind(), "tiled({target}, {seed}): {id}");
+            assert_eq!(node.fanin(), other.fanin(), "tiled({target}, {seed}): {id}");
+        }
+    }
+}
+
 #[test]
 fn registry_collections_are_consistent() {
     let all = all_paper_circuits();
