@@ -21,6 +21,19 @@
 //! * every `"unrecovered"` field (the chaos sweep's silent-result-loss
 //!   counter in `BENCH_robust.json`) must be exactly `0` — an artifact
 //!   recording an unrecovered fail-point injection fails the build;
+//! * in the simulation artifact (recognized by its `eval_reduction_2d`
+//!   fields — only `bench_sim` emits them), every `"eval_reduction"` and
+//!   `"eval_reduction_2d"` must be at least `1.0` — an engine doing
+//!   *more* gate evaluations than the dense baseline on any circuit is
+//!   a regression, not a trade-off — and on the `c6288ish` multiplier
+//!   row (the least sparse circuit, the paper's hardest case) both must
+//!   exceed `1.3`; a non-smoke artifact (`"smoke": false`) must
+//!   contain a `c6288ish` row at all, so the floor cannot be dodged by
+//!   deleting the row — the CI smoke configuration runs a reduced
+//!   circuit set and is exempt from row presence only.  Other
+//!   artifacts reuse the `eval_reduction` key for different metrics
+//!   (e.g. COP evals per optimizer run) with their own scales, so the
+//!   floors deliberately do not apply there;
 //! * `"bytes_per_gate"` values (the scale sweep's memory headline in
 //!   `BENCH_scale.json`, rows ordered by increasing circuit size) must
 //!   stay flat or decrease — each row may exceed its predecessor by at
@@ -46,6 +59,10 @@ struct BareValue {
     key: String,
     value: String,
     line: usize,
+    /// The most recent `"circuit": "<name>"` string value seen before
+    /// this token — the benchmark row this value belongs to (rows lead
+    /// with their circuit name).  Empty outside any row.
+    circuit: String,
 }
 
 /// Extracts every key whose value is a bare (unquoted) token.  String
@@ -58,6 +75,7 @@ fn bare_values(text: &str) -> Vec<BareValue> {
     let mut i = 0usize;
     let mut line = 1usize;
     let mut current_key: Option<String> = None;
+    let mut current_circuit = String::new();
     while i < bytes.len() {
         match bytes[i] {
             b'\n' => {
@@ -87,6 +105,9 @@ fn bare_values(text: &str) -> Vec<BareValue> {
                     current_key = Some(literal);
                     i = k + 1;
                 } else {
+                    if current_key.as_deref() == Some("circuit") {
+                        current_circuit = literal;
+                    }
                     current_key = None;
                 }
             }
@@ -115,6 +136,7 @@ fn bare_values(text: &str) -> Vec<BareValue> {
                     key,
                     value: token,
                     line,
+                    circuit: current_circuit.clone(),
                 });
             }
         }
@@ -131,7 +153,35 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
     let mut guided: Vec<(f64, usize)> = Vec::new();
     let mut unguided: Vec<(f64, usize)> = Vec::new();
     let mut bytes_per_gate: Vec<(f64, usize)> = Vec::new();
+    // The simulation artifact is the one with 2D-tiled headline fields;
+    // the eval-reduction floors below apply only to it (other artifacts
+    // reuse the `eval_reduction` key for differently-scaled metrics).
+    let is_sim_artifact = values.iter().any(|v| v.key == "eval_reduction_2d");
+    let is_smoke = values
+        .iter()
+        .any(|v| v.key == "smoke" && v.value == "true");
+    let mut saw_c6288_row = false;
     for v in &values {
+        // Simulation eval-reduction floors: both the 1D event headline
+        // and the 2D tiled headline must beat the dense baseline on
+        // every circuit, and clear 1.3x on the c6288ish multiplier.
+        if is_sim_artifact && (v.key == "eval_reduction" || v.key == "eval_reduction_2d") {
+            let hard_row = v.circuit.starts_with("c6288");
+            saw_c6288_row |= hard_row;
+            if let Ok(x) = v.value.parse::<f64>() {
+                if x < 1.0 {
+                    violations.push(format!(
+                        "{path}:{}: \"{}\" is {x} on {} — engine evaluates more gates than dense",
+                        v.line, v.key, v.circuit
+                    ));
+                } else if hard_row && x <= 1.3 {
+                    violations.push(format!(
+                        "{path}:{}: \"{}\" is {x} on {} — below the 1.3 multiplier floor",
+                        v.line, v.key, v.circuit
+                    ));
+                }
+            }
+        }
         if v.key == "bytes_per_gate" {
             if let Ok(x) = v.value.parse::<f64>() {
                 bytes_per_gate.push((x, v.line));
@@ -173,6 +223,11 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
                 )),
             },
         }
+    }
+    if is_sim_artifact && !is_smoke && !saw_c6288_row {
+        violations.push(format!(
+            "{path}: has eval_reduction_2d fields but no c6288ish row — multiplier floor dodged"
+        ));
     }
     if bit_identical_fields == 0 {
         violations.push(format!(
@@ -323,6 +378,60 @@ mod tests {
             assert_eq!(v.len(), 1, "value {bad}: {v:?}");
             assert!(v[0].contains("unrecovered"), "value {bad}");
         }
+    }
+
+    #[test]
+    fn sub_unity_eval_reductions_are_flagged() {
+        for key in ["eval_reduction", "eval_reduction_2d"] {
+            let text = format!(
+                "{{ \"results\": [ {{ \"circuit\": \"s1\", \"{key}\": 0.97, \"bit_identical\": true }}, {{ \"circuit\": \"c6288ish\", \"eval_reduction\": 1.9, \"eval_reduction_2d\": 1.9, \"bit_identical\": true }} ] }}"
+            );
+            let v = check_artifact("x.json", &text);
+            assert_eq!(v.len(), 1, "key {key}: {v:?}");
+            assert!(v[0].contains("more gates than dense"), "key {key}");
+            assert!(v[0].contains("s1"), "key {key}");
+        }
+    }
+
+    #[test]
+    fn c6288ish_multiplier_floor_is_enforced() {
+        // 1.2 is fine on an ordinary circuit but below the 1.3 floor on
+        // the multiplier row, for both the 1D and the 2D headline.
+        let ok = "{ \"results\": [ { \"circuit\": \"c880ish\", \"eval_reduction\": 1.2, \"bit_identical\": true }, { \"circuit\": \"c6288ish\", \"eval_reduction\": 1.89, \"eval_reduction_2d\": 1.35, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", ok).is_empty());
+        let bad = "{ \"results\": [ { \"circuit\": \"c6288ish\", \"eval_reduction\": 1.89, \"eval_reduction_2d\": 1.2, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("1.3 multiplier floor"));
+        assert!(v[0].contains("eval_reduction_2d"));
+    }
+
+    #[test]
+    fn deleting_the_c6288ish_row_cannot_dodge_the_floor() {
+        let text = "{ \"smoke\": false, \"results\": [ { \"circuit\": \"s1\", \"eval_reduction\": 6.0, \"eval_reduction_2d\": 9.0, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no c6288ish row"));
+    }
+
+    #[test]
+    fn smoke_artifacts_need_no_c6288ish_row_but_keep_the_floors() {
+        // The CI smoke set (s1, c880ish) has no multiplier row; row
+        // presence is waived, the >= 1.0 floor is not.
+        let ok = "{ \"smoke\": true, \"results\": [ { \"circuit\": \"c880ish\", \"eval_reduction\": 1.1, \"eval_reduction_2d\": 1.1, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", ok).is_empty());
+        let bad = "{ \"smoke\": true, \"results\": [ { \"circuit\": \"c880ish\", \"eval_reduction\": 1.1, \"eval_reduction_2d\": 0.9, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("more gates than dense"));
+    }
+
+    #[test]
+    fn null_dense_fields_on_derived_rows_pass() {
+        // The 120k-gate scale row derives its dense baseline and emits
+        // null wall-clock fields; the guard must accept them.
+        let text = "{ \"results\": [ { \"circuit\": \"tiled_120000_7\", \"dense_seconds\": null, \"wall_speedup\": null, \"eval_reduction\": 4.2, \"eval_reduction_2d\": 5.0, \"bit_identical\": true }, { \"circuit\": \"c6288ish\", \"eval_reduction\": 1.9, \"eval_reduction_2d\": 1.4, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", text).is_empty());
     }
 
     #[test]

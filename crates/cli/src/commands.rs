@@ -12,7 +12,10 @@ use wrt_estimate::{
 };
 use wrt_fault::FaultList;
 use wrt_robust::{Budget, BudgetExceeded, Checkpoint, Progress, RunOutcome};
-use wrt_sim::{fault_coverage_robust, SimEngineKind, SimOptions, WeightedPatterns};
+use wrt_sim::{
+    fault_coverage_robust, fault_coverage_tiled_robust, BatchMode, SimEngineKind, SimOptions,
+    TileOptions, WeightedPatterns,
+};
 
 pub const USAGE: &str = "usage: wrt <command> [args]
 
@@ -41,13 +44,19 @@ commands:
            --seed-weights scoap starts the descent at the SCOAP-derived
            input bias instead of the jittered equiprobable point.
   simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
-           [--engine dense|event] [--block-words W]
+           [--engine dense|event] [--block-words W] [--pattern-stripes P]
            [--time-limit SECS] [--max-evals N]
            weighted-random fault simulation;
            --engine event (default) runs event-driven sparse propagation
-           over W-word superblocks (--block-words 1|2|4|8, default 4);
+           over W-word superblocks (--block-words 1|2|4|8|16, default 4);
            --engine dense is the single-word reference cone walk.
-           Coverage is bit-identical for every engine/width/thread choice.
+           --pattern-stripes P switches to the 2D tiled engine (fault
+           shards × pattern stripes with work stealing and dense
+           multi-fault batching; requires --engine event): P = 0 picks
+           the stripe count automatically, oversized P is clamped, and
+           --block-words defaults to auto instead of 4.
+           Coverage is bit-identical for every engine/width/thread/stripe
+           choice.
   atpg     <circuit> [--backtracks B] [--guidance cop|scoap|unguided]
            [--degrade] [--time-limit SECS] [--max-evals N]
            [--max-backtracks-total N] [--checkpoint F] [--resume F]
@@ -479,6 +488,71 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let opts = sim_options_arg(args)?;
     let budget = budget_arg(args, false)?;
     let faults = experiment_faults(&circuit);
+    if flag_value(args, "--pattern-stripes").is_some() {
+        let stripes: usize = parse_flag(args, "--pattern-stripes", 0)?;
+        if opts.engine == SimEngineKind::Dense {
+            return Err("--pattern-stripes requires --engine event (the 2D tiled \
+                 engine's event axis); drop --engine dense"
+                .into());
+        }
+        // With no explicit --block-words the tiled engine picks the
+        // width itself (pattern count and cache budget), instead of
+        // inheriting the 1D default of 4.
+        let block_words = if flag_value(args, "--block-words").is_some() {
+            opts.block_words
+        } else {
+            0
+        };
+        let topts = TileOptions {
+            block_words,
+            pattern_stripes: stripes,
+            fault_shards: 0,
+            threads,
+            batch: BatchMode::Auto,
+        };
+        let outcome = fault_coverage_tiled_robust(
+            &circuit,
+            &faults,
+            WeightedPatterns::new(weights, seed),
+            patterns,
+            true,
+            &topts,
+            &budget,
+        );
+        let robust = match outcome {
+            RunOutcome::Complete(robust) => robust,
+            RunOutcome::Interrupted {
+                partial,
+                reason,
+                progress,
+            } => {
+                report_interrupt("simulation", reason, &progress);
+                partial
+            }
+        };
+        println!("{}", robust.result);
+        if !robust.recovery.is_clean() {
+            println!(
+                "tile recovery: {} worker panic(s), {} replay(s), {} unresolved — {}",
+                robust.recovery.worker_panics,
+                robust.recovery.replays,
+                robust.recovery.unresolved.len(),
+                robust.recovery.ladder,
+            );
+        }
+        let s = robust.stats;
+        println!(
+            "engine tiled-2d (W={}): {} stripe(s) × {} shard(s) on {} thread(s), \
+             {} tile(s), {} steal(s), {} batched fault(s) in {} batch(es)",
+            s.block_words, s.stripes, s.shards, s.threads, s.tiles, s.steals,
+            s.batch_dense_faults, s.batches,
+        );
+        println!(
+            "gate evals: {} total ({} event axis, {} batch axis, {} probe)",
+            s.sim.node_evals, s.event_node_evals, s.batch_node_evals, s.probe_node_evals,
+        );
+        return Ok(());
+    }
     let outcome = fault_coverage_robust(
         &circuit,
         &faults,
@@ -718,6 +792,32 @@ mod tests {
         }
         let a = args(&["c880ish", "--patterns", "256", "--engine", "event", "--block-words", "2"]);
         assert!(simulate(&a).is_ok());
+    }
+
+    #[test]
+    fn simulate_pattern_stripes_flag() {
+        // Explicit stripe counts, the 0 = auto form, and oversized
+        // requests (clamped internally) all run the 2D tiled engine.
+        for stripes in ["2", "0", "100000"] {
+            let a = args(&["c880ish", "--patterns", "256", "--pattern-stripes", stripes]);
+            assert!(simulate(&a).is_ok(), "--pattern-stripes {stripes}");
+        }
+        // Composes with the other simulate knobs.
+        let a = args(&[
+            "c880ish", "--patterns", "256", "--pattern-stripes", "2", "--threads", "2",
+            "--block-words", "2", "--seed", "7",
+        ]);
+        assert!(simulate(&a).is_ok());
+        // The tiled engine's pattern axis is the event engine; the dense
+        // reference engine has no stripes.
+        let a = args(&[
+            "c880ish", "--patterns", "256", "--engine", "dense", "--pattern-stripes", "2",
+        ]);
+        let err = simulate(&a).expect_err("dense + stripes must be rejected");
+        assert!(err.contains("--engine event"), "{err}");
+        // Garbage values are parse errors, not panics.
+        let a = args(&["c880ish", "--patterns", "256", "--pattern-stripes", "many"]);
+        assert!(simulate(&a).is_err());
     }
 
     #[test]

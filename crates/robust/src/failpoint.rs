@@ -164,14 +164,17 @@ pub mod sites {
     pub const BUDGET_CHECK_IN: &str = "budget::check_in";
     /// Detection-probability estimate anomaly (degradation-ladder drill).
     pub const ESTIMATE_ANOMALY: &str = "estimate::anomaly";
+    /// Start of one fault-shard × pattern-stripe tile in the 2D engine.
+    pub const TILE_RUN: &str = "tile::run";
 
     /// Every planted site, for seed-driven chaos iteration.
-    pub const ALL: [&str; 5] = [
+    pub const ALL: [&str; 6] = [
         WORKER_SPAWN,
         SHARD_MERGE,
         CHECKPOINT_WRITE,
         BUDGET_CHECK_IN,
         ESTIMATE_ANOMALY,
+        TILE_RUN,
     ];
 }
 

@@ -9,8 +9,9 @@
 //! propagation terminates the moment the active frontier drains.  Faults
 //! whose effects die early cost `O(frontier)` instead of `O(cone)`.
 //!
-//! On top of that, blocks are widened from one `u64` to `W ∈ {1, 2, 4, 8}`
-//! words ([`SuperBlock`]): each scheduled node evaluates `64 * W` patterns
+//! On top of that, blocks are widened from one `u64` to
+//! `W ∈ {1, 2, 4, 8, 16}` words ([`SuperBlock`]): each scheduled node
+//! evaluates `64 * W` patterns
 //! at once through fixed-size `[u64; W]` lanes
 //! ([`crate::eval_gate_lanes`]), amortizing the scheduling and good-value
 //! lookups across `W`× more patterns and giving the autovectorizer
@@ -60,7 +61,7 @@ use crate::patterns::{PatternBlock, PatternSource};
 /// Adding a width means extending this list *and* the `with_block_words!`
 /// dispatch macro below — the two are the single source of truth every
 /// entry point shares.
-pub const SUPPORTED_BLOCK_WORDS: [usize; 4] = [1, 2, 4, 8];
+pub const SUPPORTED_BLOCK_WORDS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// Monomorphizes `$body` over the supported superblock widths: `$W`
 /// becomes a `const usize` bound to the runtime value `$w`.  The one copy
@@ -85,6 +86,10 @@ macro_rules! with_block_words {
             }
             8 => {
                 const $W: usize = 8;
+                $body
+            }
+            16 => {
+                const $W: usize = 16;
                 $body
             }
             _ => unreachable!("SimOptions::validate admits only SUPPORTED_BLOCK_WORDS"),
@@ -236,6 +241,26 @@ impl SimStats {
         }
         self.frontier_deaths as f64 / self.excited() as f64
     }
+}
+
+/// Per-fault work profile of an [`EventSimulator`], collected on demand
+/// (see [`EventSimulator::enable_eval_profile`]).  This is what the 2D
+/// tiled engine's batch classifier feeds on, and what `bench_sim` uses to
+/// *derive* the dense engine's eval count on circuits too large to run
+/// the dense engine outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvalProfile {
+    /// Scheduled gate evaluations per fault (root injection excluded),
+    /// summed over all profiled passes.
+    pub evals: Vec<u64>,
+    /// Excited 64-pattern blocks per fault, *clipped at the detecting
+    /// block of each pass*: a lane counts iff it holds valid patterns,
+    /// the fault is excited there, and no earlier lane of the same pass
+    /// already detected the fault.  With `drop = true` callers this is
+    /// exactly the number of blocks the dense engine would have paid a
+    /// cone walk for, which makes `Σ excited_blocks[f] × (cone(f) − 1)`
+    /// the dense engine's `node_evals` without ever running it.
+    pub excited_blocks: Vec<u64>,
 }
 
 /// One superblock of up to `64 * W` bit-parallel patterns: `W` consecutive
@@ -520,6 +545,9 @@ pub struct EventSimulator<'c, const W: usize> {
     /// on the scheduling hot path).
     level: Box<[u32]>,
     stats: SimStats,
+    /// Per-fault counters, allocated only when profiling is enabled so
+    /// the hot path pays one branch otherwise.
+    profile: Option<FaultEvalProfile>,
 }
 
 impl<'c, const W: usize> EventSimulator<'c, W> {
@@ -539,6 +567,7 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
             active_levels: std::collections::BinaryHeap::new(),
             level: circuit.ids().map(|id| circuit.levels().level(id)).collect(),
             stats: SimStats::default(),
+            profile: None,
         }
     }
 
@@ -556,6 +585,27 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
     /// Clears the accumulated work counters.
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
+    }
+
+    /// The shared fault-free simulator, holding the good values of the
+    /// most recent superblock.  The tiled engine's dense batch passes
+    /// read per-block good values from here instead of re-simulating.
+    pub fn good_sim(&self) -> &WideLogicSim<'c, W> {
+        &self.good
+    }
+
+    /// Starts (or restarts) per-fault profiling; counters begin at zero.
+    pub fn enable_eval_profile(&mut self) {
+        self.profile = Some(FaultEvalProfile {
+            evals: vec![0; self.faults.len()],
+            excited_blocks: vec![0; self.faults.len()],
+        });
+    }
+
+    /// Takes the profile accumulated since
+    /// [`EventSimulator::enable_eval_profile`], disabling profiling.
+    pub fn take_eval_profile(&mut self) -> Option<FaultEvalProfile> {
+        self.profile.take()
     }
 
     /// Simulates one superblock fault-free, then visits exactly the faults
@@ -605,6 +655,7 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
     fn detect_fault(&mut self, i: usize, mask: &[u64; W]) -> [u64; W] {
         let fault = self.faults[i];
         self.stats.fault_blocks += 1;
+        let evals_before = self.stats.node_evals;
         let stuck = if fault.stuck_value {
             [u64::MAX; W]
         } else {
@@ -689,6 +740,18 @@ impl<'c, const W: usize> EventSimulator<'c, W> {
         let masked = and_mask(diff, mask);
         if masked != [0; W] {
             self.stats.detected_blocks += 1;
+        }
+        if let Some(profile) = self.profile.as_mut() {
+            profile.evals[i] += self.stats.node_evals - evals_before;
+            // Excited valid lanes up to (and including) the detecting
+            // lane — the blocks a drop-mode dense engine would walk.
+            let last = first_set_bit(&masked).map_or(W, |b| b as usize / 64 + 1);
+            profile.excited_blocks[i] += mask
+                .iter()
+                .zip(root_value.iter().zip(&good_root))
+                .take(last)
+                .filter(|&(&m, (r, g))| m != 0 && r != g)
+                .count() as u64;
         }
         masked
     }
@@ -1060,7 +1123,7 @@ mod tests {
             assert!(SimOptions::event(w).validate().is_ok());
         }
         assert!(SimOptions::event(3).validate().is_err());
-        assert!(SimOptions::event(16).validate().is_err());
+        assert!(SimOptions::event(32).validate().is_err());
         assert!(SimOptions {
             engine: SimEngineKind::Dense,
             block_words: 4
@@ -1104,13 +1167,13 @@ mod proptests {
 
         /// The event-driven engine is bit-identical to the dense one —
         /// `detected_at` and `counts` — across random circuits, weights,
-        /// superblock widths 1/2/4/8, pattern counts, drop modes, and
+        /// superblock widths 1/2/4/8/16, pattern counts, drop modes, and
         /// shard counts (1 = serial, plus oversharding).
         #[test]
         fn event_is_bit_identical_to_dense(
             circuit in arb_circuit(),
             weights in proptest::collection::vec(0.05f64..0.95, 4),
-            width_and_threads in (0usize..4, 1usize..7),
+            width_and_threads in (0usize..5, 1usize..7),
             seed in 0u64..1_000,
             patterns in 1u64..700,
             drop in any::<bool>(),
@@ -1165,7 +1228,7 @@ mod proptests {
         fn event_oversharding_is_identical(
             circuit in arb_circuit(),
             seed in 0u64..100,
-            width_idx in 0usize..4,
+            width_idx in 0usize..5,
         ) {
             let faults = FaultList::primary_inputs(&circuit);
             let opts = SimOptions::event(SUPPORTED_BLOCK_WORDS[width_idx]);

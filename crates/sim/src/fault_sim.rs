@@ -303,6 +303,14 @@ impl FaultWorklist {
         }
     }
 
+    /// A worklist of exactly the given fault indices (the 2D tiled
+    /// engine's per-tile event-axis membership).
+    pub fn from_indices(indices: &[u32]) -> Self {
+        FaultWorklist {
+            indices: indices.to_vec(),
+        }
+    }
+
     /// A worklist of the indices whose `active` flag is set.
     pub fn from_active(active: &[bool]) -> Self {
         let mut list = FaultWorklist {

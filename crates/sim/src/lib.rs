@@ -18,10 +18,16 @@
 //! * **dense** ([`FaultSimulator`]) — one `u64` block, per-fault cone
 //!   walk; the simple reference engine.
 //! * **event** ([`EventSimulator`]) — event-driven sparse propagation
-//!   over `W`-word superblocks ([`SuperBlock`], `W ∈ {1, 2, 4, 8}`):
+//!   over `W`-word superblocks ([`SuperBlock`], `W ∈ {1, 2, 4, 8, 16}`):
 //!   only nodes actually reached by the fault effect are evaluated, and
 //!   each evaluation covers `64 * W` patterns.  See [`EventSimulator`]
 //!   for the ready-set invariants.
+//!
+//! On top of both sits the **2D tiled engine** ([`fault_coverage_tiled`]):
+//! fault-shard × pattern-stripe tiles pulled from a work-stealing queue,
+//! with high-reach faults peeled off into shared dense multi-fault batch
+//! passes ([`BatchMode`]).  Bit-identical to serial for every thread
+//! count, stripe size, and steal order — see the `tile` module docs.
 //!
 //! [`fault_coverage_opts`] / [`detection_counts_opts`] (and their
 //! `_sharded_opts` variants) run the configured engine and also report
@@ -82,11 +88,17 @@ mod rng;
 mod robust;
 #[cfg(test)]
 mod test_support;
+mod tile;
 
 pub use coverage::{CoverageCurve, CoverageResult};
 pub use event::{
     count_set_bits, detection_counts_opts, fault_coverage_opts, first_set_bit, superblock_split,
-    EventSimulator, SimEngineKind, SimOptions, SimStats, SuperBlock, SUPPORTED_BLOCK_WORDS,
+    EventSimulator, FaultEvalProfile, SimEngineKind, SimOptions, SimStats, SuperBlock,
+    SUPPORTED_BLOCK_WORDS,
+};
+pub use tile::{
+    detection_counts_tiled, fault_coverage_tiled, fault_coverage_tiled_robust, BatchMode,
+    RobustTiledCoverage, TileOptions, TileStats,
 };
 pub use fault_sim::{detection_counts, fault_coverage, FaultSimulator, FaultWorklist};
 pub use parallel::{

@@ -62,7 +62,7 @@ pub struct RobustCounts {
 
 /// Resolves the eval budget to a deterministic pattern clip (see the
 /// module docs) and the canonical per-pattern eval rate.
-fn eval_clip(circuit: &Circuit, num_patterns: u64, budget: &Budget) -> (u64, u64) {
+pub(crate) fn eval_clip(circuit: &Circuit, num_patterns: u64, budget: &Budget) -> (u64, u64) {
     let evals_per_pattern = (circuit.num_nodes() as u64).max(1);
     let clip = budget
         .max_evals()
@@ -73,7 +73,7 @@ fn eval_clip(circuit: &Circuit, num_patterns: u64, budget: &Budget) -> (u64, u64
 /// Wraps a sharded run's raw outcome into a [`RunOutcome`]: a runtime
 /// budget trip wins; otherwise an upfront eval clip reports
 /// [`wrt_robust::BudgetExceeded::Evals`]; otherwise the run is complete.
-fn wrap_outcome<T>(
+pub(crate) fn wrap_outcome<T>(
     partial: T,
     streamed: u64,
     tripped: Option<wrt_robust::BudgetExceeded>,

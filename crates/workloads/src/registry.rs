@@ -12,7 +12,26 @@ pub const WORKLOAD_NAMES: [&str; 12] = [
 /// paper optimizes in Tables 2–5).
 pub const STARRED_NAMES: [&str; 4] = ["s1", "s2", "c2670ish", "c7552ish"];
 
+/// Parses a synthetic tiled-circuit name of the form
+/// `tiled_<gates>_<seed>` (the names [`crate::tiled`] assigns).
+fn parse_tiled_name(name: &str) -> Option<Circuit> {
+    let rest = name.strip_prefix("tiled_")?;
+    let (gates, seed) = rest.split_once('_')?;
+    let gates: usize = gates.parse().ok()?;
+    let seed: u64 = seed.parse().ok()?;
+    if gates == 0 {
+        return None;
+    }
+    Some(crate::tiled(gates, seed))
+}
+
 /// Builds a workload circuit by its registry name.
+///
+/// Beyond the twelve fixed paper circuits, names of the form
+/// `tiled_<gates>_<seed>` build the synthetic scale workload
+/// [`crate::tiled`] with those parameters (e.g. `tiled_120000_7`), so
+/// benchmarks and the CLI can request million-gate-class circuits by
+/// name.
 ///
 /// Returns `None` for unknown names.
 ///
@@ -22,8 +41,13 @@ pub const STARRED_NAMES: [&str; 4] = ["s1", "s2", "c2670ish", "c7552ish"];
 /// let c = wrt_workloads::by_name("s1").expect("registered");
 /// assert_eq!(c.name(), "s1");
 /// assert!(wrt_workloads::by_name("c17").is_none());
+/// let t = wrt_workloads::by_name("tiled_5000_3").expect("synthetic");
+/// assert_eq!(t.name(), "tiled_5000_3");
 /// ```
 pub fn by_name(name: &str) -> Option<Circuit> {
+    if name.starts_with("tiled_") {
+        return parse_tiled_name(name);
+    }
     Some(match name {
         "s1" => crate::s1(),
         "s2" => crate::s2(),
@@ -78,6 +102,18 @@ mod tests {
             assert!(WORKLOAD_NAMES.contains(&name));
         }
         assert_eq!(starred_circuits().len(), 4);
+    }
+
+    #[test]
+    fn tiled_names_parse_and_build() {
+        let c = by_name("tiled_2000_5").expect("valid tiled name");
+        assert_eq!(c.name(), "tiled_2000_5");
+        assert!(c.num_gates() >= 2000);
+        for bad in [
+            "tiled_", "tiled_abc_1", "tiled_100", "tiled_100_x", "tiled_0_1", "tiled__",
+        ] {
+            assert!(by_name(bad).is_none(), "{bad} must not parse");
+        }
     }
 
     #[test]
