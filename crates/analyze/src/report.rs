@@ -37,6 +37,11 @@ pub struct ScoapSummary {
 pub struct AnalysisReport {
     /// Circuit name.
     pub circuit: String,
+    /// Process-local circuit uid (registry handle; not stable across
+    /// processes).
+    pub uid: u64,
+    /// Stable structural digest of the netlist.
+    pub digest: u64,
     /// Node, input, and output counts.
     pub nodes: usize,
     /// Primary input count.
@@ -98,6 +103,8 @@ pub fn analyze(circuit: &Circuit) -> AnalysisReport {
 
     AnalysisReport {
         circuit: circuit.name().to_string(),
+        uid: circuit.uid(),
+        digest: circuit.structural_digest(),
         nodes: circuit.num_nodes(),
         inputs: circuit.num_inputs(),
         outputs: circuit.num_outputs(),
@@ -177,8 +184,10 @@ impl AnalysisReport {
             })
             .collect();
         format!(
-            "{{\n  \"circuit\": {},\n  \"nodes\": {},\n  \"inputs\": {},\n  \"outputs\": {},\n  \"depth\": {},\n  \"ffr_count\": {},\n  \"max_ffr_size\": {},\n  \"fanout_stems\": {},\n  \"reconvergent_stems\": {},\n  \"cop_exact\": {},\n  \"scoap_faults\": {},\n  \"scoap_undetectable\": {},\n  \"scoap_median_cost\": {},\n  \"scoap_max_cost\": {},\n  \"scoap_hardest\": [{}],\n  \"findings\": [{}]\n}}\n",
+            "{{\n  \"circuit\": {},\n  \"uid\": {},\n  \"digest\": \"{:016x}\",\n  \"nodes\": {},\n  \"inputs\": {},\n  \"outputs\": {},\n  \"depth\": {},\n  \"ffr_count\": {},\n  \"max_ffr_size\": {},\n  \"fanout_stems\": {},\n  \"reconvergent_stems\": {},\n  \"cop_exact\": {},\n  \"scoap_faults\": {},\n  \"scoap_undetectable\": {},\n  \"scoap_median_cost\": {},\n  \"scoap_max_cost\": {},\n  \"scoap_hardest\": [{}],\n  \"findings\": [{}]\n}}\n",
             json_str(&self.circuit),
+            self.uid,
+            self.digest,
             self.nodes,
             self.inputs,
             self.outputs,

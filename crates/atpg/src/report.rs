@@ -170,9 +170,10 @@ impl AtpgState {
     }
 
     /// Serializes the state at the current fault boundary.
-    fn to_checkpoint(&self, fingerprint: u64) -> Checkpoint {
+    fn to_checkpoint(&self, fingerprint: u64, circuit: &Circuit) -> Checkpoint {
         let mut c = Checkpoint::new(ATPG_CHECKPOINT_KIND);
         c.put("fingerprint", format!("{fingerprint:016x}"));
+        c.put_circuit_identity(circuit.structural_digest(), circuit.uid());
         c.put("num_faults", self.detected.len());
         c.put("next_index", self.next_index);
         c.put("podem_calls", self.podem_calls);
@@ -205,7 +206,7 @@ impl AtpgState {
     /// [`AtpgState::to_checkpoint`], validating the run fingerprint.
     fn from_checkpoint(
         ckpt: &Checkpoint,
-        num_inputs: usize,
+        circuit: &Circuit,
         faults: &FaultList,
         config: &AtpgConfig,
         fingerprint: u64,
@@ -219,6 +220,10 @@ impl AtpgState {
                 ),
             });
         }
+        // The fingerprint only hashes circuit *counts*; the structural
+        // digest (when recorded) pins the resume to the exact netlist.
+        ckpt.validate_circuit_digest(circuit.structural_digest())?;
+        let num_inputs = circuit.num_inputs();
         let num_faults: usize = ckpt.get_parse("num_faults")?;
         if num_faults != faults.len() {
             return Err(CheckpointError::Corrupt {
@@ -460,7 +465,7 @@ pub fn generate_tests_budgeted(
                     found: ckpt.kind().to_string(),
                 });
             }
-            AtpgState::from_checkpoint(ckpt, circuit.num_inputs(), faults, config, fingerprint)?
+            AtpgState::from_checkpoint(ckpt, circuit, faults, config, fingerprint)?
         }
         None => AtpgState::fresh(circuit.num_inputs(), faults.len(), config),
     };
@@ -480,7 +485,7 @@ pub fn generate_tests_budgeted(
                 total: Some(faults.len() as u64),
                 unit: "faults",
             };
-            let checkpoint = state.to_checkpoint(fingerprint);
+            let checkpoint = state.to_checkpoint(fingerprint, circuit);
             let (report, ladder) = state.into_report(faults);
             Ok(BudgetedAtpg {
                 outcome: RunOutcome::Interrupted {
@@ -726,6 +731,33 @@ mod tests {
             matches!(err, wrt_robust::CheckpointError::Corrupt { .. }),
             "{err}"
         );
+
+        // A structural twin — same input/node/fault counts, different
+        // gates — slips past the count-only fingerprint; the recorded
+        // structural digest must refuse it.
+        let and4 = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = AND(a, b, c, d)\n",
+        )
+        .unwrap();
+        let or4 = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = OR(a, b, c, d)\n",
+        )
+        .unwrap();
+        let and_faults = FaultList::checkpoints(&and4);
+        let or_faults = FaultList::checkpoints(&or4);
+        assert_eq!(and_faults.len(), or_faults.len(), "twin must match counts");
+        assert_ne!(and4.structural_digest(), or4.structural_digest());
+        let run = generate_tests_budgeted(&and4, &and_faults, &config, &budget, None).unwrap();
+        let twin_ckpt = run.checkpoint.expect("interrupted");
+        let err = generate_tests_budgeted(
+            &or4,
+            &or_faults,
+            &config,
+            &wrt_robust::Budget::unlimited(),
+            Some(&twin_ckpt),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("structural digest"), "{err}");
 
         // Foreign subsystem kind → WrongKind.
         let foreign = wrt_robust::Checkpoint::new("optimize");

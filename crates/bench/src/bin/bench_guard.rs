@@ -1,7 +1,7 @@
 //! Benchmark-artifact guard: validates `BENCH_sim.json`,
-//! `BENCH_optimize.json`, `BENCH_analyze.json`, `BENCH_robust.json` and
-//! `BENCH_scale.json` so the committed artifacts cannot silently go
-//! stale or corrupt.
+//! `BENCH_optimize.json`, `BENCH_analyze.json`, `BENCH_robust.json`,
+//! `BENCH_scale.json` and `BENCH_serve.json` so the committed artifacts
+//! cannot silently go stale or corrupt.
 //!
 //! The bench binaries assert their own invariants at generation time,
 //! but the *committed* artifacts are edited, rebased and merged like any
@@ -34,6 +34,15 @@
 //!   artifacts reuse the `eval_reduction` key for different metrics
 //!   (e.g. COP evals per optimizer run) with their own scales, so the
 //!   floors deliberately do not apply there;
+//! * in the serving artifact (recognized by its `warm_over_cold`
+//!   fields — only `bench_serve` emits them), every `"warm_over_cold"`
+//!   ratio must be at least `1.0` — a resident server answering primed
+//!   queries *slower* than cold ones means the shared engine cache is
+//!   broken — and a non-smoke artifact must have at least two rows at
+//!   `3.0` or better, the paper-style amortization headline; the
+//!   `"eco_eval_reduction"` field (overlay evals vs cold recompute, a
+//!   machine-independent counter) must be at least `2.0` non-smoke and
+//!   `1.0` in the smoke configuration;
 //! * `"bytes_per_gate"` values (the scale sweep's memory headline in
 //!   `BENCH_scale.json`, rows ordered by increasing circuit size) must
 //!   stay flat or decrease — each row may exceed its predecessor by at
@@ -157,10 +166,14 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
     // the eval-reduction floors below apply only to it (other artifacts
     // reuse the `eval_reduction` key for differently-scaled metrics).
     let is_sim_artifact = values.iter().any(|v| v.key == "eval_reduction_2d");
+    // The serving artifact leads with warm-over-cold ratios; only
+    // `bench_serve` emits that key.
+    let is_serve_artifact = values.iter().any(|v| v.key == "warm_over_cold");
     let is_smoke = values
         .iter()
         .any(|v| v.key == "smoke" && v.value == "true");
     let mut saw_c6288_row = false;
+    let mut warm_headline_rows = 0usize;
     for v in &values {
         // Simulation eval-reduction floors: both the 1D event headline
         // and the 2D tiled headline must beat the dense baseline on
@@ -178,6 +191,31 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
                     violations.push(format!(
                         "{path}:{}: \"{}\" is {x} on {} — below the 1.3 multiplier floor",
                         v.line, v.key, v.circuit
+                    ));
+                }
+            }
+        }
+        // Serving floors: warm must never lose to cold, and the ECO
+        // overlay must beat the cold recompute it replaces.
+        if v.key == "warm_over_cold" {
+            if let Ok(x) = v.value.parse::<f64>() {
+                if x < 1.0 {
+                    violations.push(format!(
+                        "{path}:{}: \"warm_over_cold\" is {x} on {} — warm served queries slower than cold",
+                        v.line, v.circuit
+                    ));
+                } else if x >= 3.0 {
+                    warm_headline_rows += 1;
+                }
+            }
+        }
+        if v.key == "eco_eval_reduction" {
+            let floor = if is_smoke { 1.0 } else { 2.0 };
+            if let Ok(x) = v.value.parse::<f64>() {
+                if x < floor {
+                    violations.push(format!(
+                        "{path}:{}: \"eco_eval_reduction\" is {x} on {} — below the {floor} overlay floor",
+                        v.line, v.circuit
                     ));
                 }
             }
@@ -223,6 +261,11 @@ fn check_artifact(path: &str, text: &str) -> Vec<String> {
                 )),
             },
         }
+    }
+    if is_serve_artifact && !is_smoke && warm_headline_rows < 2 {
+        violations.push(format!(
+            "{path}: only {warm_headline_rows} circuit(s) reach warm_over_cold >= 3 — the amortization headline needs two"
+        ));
     }
     if is_sim_artifact && !is_smoke && !saw_c6288_row {
         violations.push(format!(
@@ -278,6 +321,7 @@ fn main() -> ExitCode {
             "BENCH_analyze.json".into(),
             "BENCH_robust.json".into(),
             "BENCH_scale.json".into(),
+            "BENCH_serve.json".into(),
         ]
     } else {
         args
@@ -457,6 +501,50 @@ mod tests {
     }
 
     #[test]
+    fn warm_over_cold_floors_are_enforced() {
+        // A full-run serving artifact needs two headline rows at 3x and
+        // no row below 1x.
+        let ok = "{ \"smoke\": false, \"results\": [ { \"circuit\": \"c880ish\", \"warm_over_cold\": 9.0, \"bit_identical\": true }, { \"circuit\": \"c2670ish\", \"warm_over_cold\": 3.5, \"bit_identical\": true }, { \"circuit\": \"c5315ish\", \"warm_over_cold\": 1.4, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", ok).is_empty());
+        let slow = "{ \"smoke\": false, \"results\": [ { \"circuit\": \"c880ish\", \"warm_over_cold\": 0.8, \"bit_identical\": true }, { \"circuit\": \"c2670ish\", \"warm_over_cold\": 3.5, \"bit_identical\": true }, { \"circuit\": \"c5315ish\", \"warm_over_cold\": 4.0, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", slow);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("slower than cold"));
+        assert!(v[0].contains("c880ish"));
+        let thin = "{ \"smoke\": false, \"results\": [ { \"circuit\": \"c880ish\", \"warm_over_cold\": 9.0, \"bit_identical\": true }, { \"circuit\": \"c2670ish\", \"warm_over_cold\": 1.5, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", thin);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("amortization headline"));
+    }
+
+    #[test]
+    fn smoke_serve_artifacts_skip_the_headline_but_keep_the_floor() {
+        // The CI smoke run uses tiny circuits: the 3x headline is
+        // waived, warm >= cold is not.
+        let ok = "{ \"smoke\": true, \"results\": [ { \"circuit\": \"s1\", \"warm_over_cold\": 1.2, \"bit_identical\": true } ] }";
+        assert!(check_artifact("x.json", ok).is_empty());
+        let bad = "{ \"smoke\": true, \"results\": [ { \"circuit\": \"s1\", \"warm_over_cold\": 0.9, \"bit_identical\": true } ] }";
+        let v = check_artifact("x.json", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("slower than cold"));
+    }
+
+    #[test]
+    fn eco_eval_reduction_floor_scales_with_smoke() {
+        let full = "{ \"smoke\": false, \"results\": [ { \"circuit\": \"a\", \"warm_over_cold\": 4.0, \"bit_identical\": true }, { \"circuit\": \"b\", \"warm_over_cold\": 4.0, \"bit_identical\": true } ], \"eco\": { \"circuit\": \"b\", \"eco_eval_reduction\": 1.5, \"bit_identical\": true } }";
+        let v = check_artifact("x.json", full);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("overlay floor"));
+        // The same 1.5 passes in the smoke configuration (floor 1.0).
+        let smoke = full.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(check_artifact("x.json", &smoke).is_empty());
+        let negative = smoke.replace("1.5", "0.5");
+        let v = check_artifact("x.json", &negative);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("overlay floor"));
+    }
+
+    #[test]
     fn committed_artifacts_are_clean() {
         // The repository's own artifacts must satisfy the guard; the
         // test runs from the crate directory, so walk up to the root.
@@ -466,6 +554,7 @@ mod tests {
             "BENCH_analyze.json",
             "BENCH_robust.json",
             "BENCH_scale.json",
+            "BENCH_serve.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")

@@ -34,8 +34,8 @@ use wrt_fault::FaultList;
 use wrt_robust::failpoint::{self, sites, FailAction};
 use wrt_robust::{Budget, BudgetExceeded, Checkpoint, CheckpointError, RunOutcome};
 use wrt_sim::{
-    fault_coverage, fault_coverage_robust, fault_coverage_sharded_opts, SimOptions,
-    WeightedPatterns,
+    fault_coverage, fault_coverage_robust, fault_coverage_sharded_opts,
+    fault_coverage_tiled_robust, SimOptions, TileOptions, WeightedPatterns,
 };
 
 const SEED: u64 = 0xC0DE;
@@ -248,6 +248,83 @@ fn chaos_drill(seed: u64, circuit: &Circuit, faults: &FaultList) -> (String, boo
                 ))
             }
         }
+        sites::TILE_RUN => {
+            let reference = fault_coverage(circuit, faults, source(), patterns, true);
+            let robust = fault_coverage_tiled_robust(
+                circuit,
+                faults,
+                source(),
+                patterns,
+                true,
+                &TileOptions {
+                    block_words: 1,
+                    pattern_stripes: 2,
+                    threads: 2,
+                    ..TileOptions::default()
+                },
+                &Budget::unlimited(),
+            );
+            match robust {
+                RunOutcome::Complete(rc)
+                    if rc.recovery.unresolved.is_empty()
+                        && rc.result.detected_at() == reference.detected_at() =>
+                {
+                    Outcome::Recovered
+                }
+                RunOutcome::Complete(_) => {
+                    Outcome::Unrecovered("tile recovery diverged from serial".into())
+                }
+                RunOutcome::Interrupted { reason, .. } => {
+                    Outcome::Unrecovered(format!("unexpected interruption: {reason:?}"))
+                }
+            }
+        }
+        sites::SERVE_ACCEPT | sites::SERVE_SESSION | sites::SERVE_ECO_APPLY => {
+            // A resident server under injection: every request must still
+            // get a framed response — the fired arm surfaces as an `err`
+            // frame, never a dropped connection.
+            let spec = circuit
+                .iter()
+                .find_map(|(_, n)| match n.kind() {
+                    wrt_circuit::GateKind::And => Some(format!("{}=OR", n.name())),
+                    wrt_circuit::GateKind::Nand => Some(format!("{}=NOR", n.name())),
+                    _ => None,
+                })
+                .expect("chaos circuit has a flippable gate");
+            let registry = std::sync::Arc::new(wrt_serve::Registry::new());
+            match wrt_serve::spawn(registry, "127.0.0.1:0", None) {
+                Err(why) => Outcome::Unrecovered(format!("server failed to spawn: {why}")),
+                Ok(handle) => {
+                    let addr = handle.addr().to_string();
+                    let argv: Vec<String> = ["eco", circuit.name(), "--set", spec.as_str()]
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect();
+                    let mut err_frames = 0u32;
+                    let mut transport = None;
+                    for _ in 0..4 {
+                        match wrt_serve::client::request(&addr, &argv) {
+                            Ok(Ok(_)) => {}
+                            Ok(Err(_)) => err_frames += 1,
+                            Err(why) => transport = Some(why),
+                        }
+                    }
+                    handle.trigger_shutdown();
+                    handle.wait();
+                    let fired = !session.fired().is_empty();
+                    match (transport, fired, err_frames) {
+                        (Some(why), _, _) => {
+                            Outcome::Unrecovered(format!("transport failure: {why}"))
+                        }
+                        (None, true, 1..) => Outcome::Structured,
+                        (None, true, 0) => {
+                            Outcome::Unrecovered("fired arm produced no err frame".into())
+                        }
+                        (None, false, _) => Outcome::Recovered,
+                    }
+                }
+            }
+        }
         other => unreachable!("unknown site {other}"),
     };
     let fired = !session.fired().is_empty();
@@ -341,7 +418,7 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"robust_overhead_and_chaos\",\n  \"note\": \"overhead_pct compares the budgeted, panic-isolated robust entry point (unlimited budget, nothing armed) against the legacy sharded engine on the identical workload; wall-clock and host-dependent, expected within noise of zero (the disabled fail-point fast path is one relaxed atomic load, and budget check-ins happen per chunk). bit_identical is the machine-independent claim: the robust path's coverage equals the legacy engine's exactly. The chaos section is a seeded fail-point sweep over every planted site (worker spawn, shard merge, checkpoint write, budget check-in, estimate anomaly; panics on worker-side sites, structured failures elsewhere): every injection must end in bit-identical recovery or a structured error. unrecovered counts silent result loss and must be zero; bench_guard re-checks it on the committed artifact.\",\n  \"patterns\": {},\n  \"threads\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ],\n  \"chaos\": {{\n    \"seeds\": {},\n    \"fired\": {},\n    \"recovered_bit_identical\": {},\n    \"structured_errors\": {},\n    \"unrecovered\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"robust_overhead_and_chaos\",\n  \"note\": \"overhead_pct compares the budgeted, panic-isolated robust entry point (unlimited budget, nothing armed) against the legacy sharded engine on the identical workload; wall-clock and host-dependent, expected within noise of zero (the disabled fail-point fast path is one relaxed atomic load, and budget check-ins happen per chunk). bit_identical is the machine-independent claim: the robust path's coverage equals the legacy engine's exactly. The chaos section is a seeded fail-point sweep over every planted site (worker spawn, shard merge, checkpoint write, budget check-in, estimate anomaly, tile run, serve accept/session/eco-apply; panics on worker-side sites, structured failures elsewhere): every injection must end in bit-identical recovery or a structured error. unrecovered counts silent result loss and must be zero; bench_guard re-checks it on the committed artifact.\",\n  \"patterns\": {},\n  \"threads\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ],\n  \"chaos\": {{\n    \"seeds\": {},\n    \"fired\": {},\n    \"recovered_bit_identical\": {},\n    \"structured_errors\": {},\n    \"unrecovered\": {}\n  }}\n}}\n",
         patterns,
         threads,
         smoke,

@@ -176,6 +176,54 @@ impl Circuit {
         self.uid
     }
 
+    /// Stable FNV-1a digest of the circuit *structure*: name, node
+    /// kinds, fanin lists, node names, and the input/output interface.
+    ///
+    /// Unlike [`Circuit::uid`] (a process-local cache key), the digest is
+    /// identical across processes and runs for structurally identical
+    /// circuits — it is what checkpoint sidecars record so `--resume`
+    /// can reject a mismatched circuit, and what remote clients can
+    /// compare against a server-resident copy.
+    pub fn structural_digest(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            fn word(&mut self, w: u32) {
+                for b in w.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        for b in self.name.bytes() {
+            h.byte(b);
+        }
+        h.byte(0xFF);
+        h.word(self.kinds.len() as u32);
+        for &k in &self.kinds {
+            h.byte(k as u8);
+        }
+        for &f in &self.fanin_data {
+            h.word(f.0);
+        }
+        for b in self.name_bytes.bytes() {
+            h.byte(b);
+        }
+        for &o in &self.name_offsets {
+            h.word(o);
+        }
+        for &i in &self.inputs {
+            h.word(i.0);
+        }
+        for &o in &self.outputs {
+            h.word(o.0);
+        }
+        h.0
+    }
+
     /// Total number of nodes, including primary inputs and constants.
     pub fn num_nodes(&self) -> usize {
         self.kinds.len()

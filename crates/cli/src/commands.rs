@@ -1,677 +1,135 @@
-//! Subcommand implementations.
+//! Subcommand wrappers.
+//!
+//! Every verb's argument parsing and rendering lives in
+//! [`wrt_serve::exec`], where the resident server runs the *same*
+//! functions — that single source of truth is what makes a served
+//! response byte-identical to batch output.  This module only adapts
+//! them to the process: one shared [`ExecContext`] wired to the Ctrl-C
+//! flag, results printed to stdout, plus the `serve`/`client`/`--remote`
+//! process-level verbs that have no meaning inside a request.
 
-use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use wrt_atpg::{generate_tests_budgeted, AtpgConfig, BacktraceGuidance, ATPG_CHECKPOINT_KIND};
-use wrt_circuit::{Circuit, CircuitStats};
-use wrt_core::{optimize_budgeted, quantize_weights, OptimizeConfig, OPTIMIZE_CHECKPOINT_KIND};
-use wrt_estimate::{
-    constant_line_faults, CopEngine, DetectionProbabilityEngine, IncrementalCop,
-    MonteCarloEngine, StafanEngine,
-};
-use wrt_fault::FaultList;
-use wrt_robust::{Budget, BudgetExceeded, Checkpoint, Progress, RunOutcome};
-use wrt_sim::{
-    fault_coverage_robust, fault_coverage_tiled_robust, BatchMode, SimEngineKind, SimOptions,
-    TileOptions, WeightedPatterns,
-};
+use wrt_serve::exec::{self, flag_value, parse_flag, ExecContext};
+use wrt_serve::Registry;
 
-pub const USAGE: &str = "usage: wrt <command> [args]
+pub use wrt_serve::exec::USAGE;
 
-commands:
-  stats    <circuit>                              circuit statistics
-  analyze  <circuit | all> [--lint] [--json]
-           static testability report: SCOAP controllability/observability
-           summary, FFR/reconvergence census, and structural lints.
-           `all` sweeps every built-in workload.  --lint prints findings
-           only and exits nonzero if any lint fires (CI gate); --json
-           emits the machine-readable report.  A .bench file path is
-           additionally linted at the text level (combinational loops,
-           undriven nets) before parsing.
-  optimize <circuit> [--grid G] [--confidence C] [--engine E] [--threads T]
-           [--seed S] [--mc-patterns N] [--commit-batch K]
-           [--seed-weights uniform|scoap]
-           [--time-limit SECS] [--max-evals N] [--checkpoint F] [--resume F]
-           optimized input probabilities;
-           E = incremental-cop (default; cone-restricted per-coordinate
-           recompute, bit-identical to cop) | cop | stafan | monte-carlo
-           (--seed and --mc-patterns apply to the sampling engines).
-           --commit-batch K (incremental-cop only, default 4) defers up
-           to K coordinate moves in a pending overlay before
-           materializing; K = 0 or 1 commits every move immediately.
-           Results are bit-identical for every K.
-           --seed-weights scoap starts the descent at the SCOAP-derived
-           input bias instead of the jittered equiprobable point.
-  simulate <circuit> --patterns N [--weights w1,w2,...] [--seed S] [--threads T]
-           [--engine dense|event] [--block-words W] [--pattern-stripes P]
-           [--time-limit SECS] [--max-evals N]
-           weighted-random fault simulation;
-           --engine event (default) runs event-driven sparse propagation
-           over W-word superblocks (--block-words 1|2|4|8|16, default 4);
-           --engine dense is the single-word reference cone walk.
-           --pattern-stripes P switches to the 2D tiled engine (fault
-           shards × pattern stripes with work stealing and dense
-           multi-fault batching; requires --engine event): P = 0 picks
-           the stripe count automatically, oversized P is clamped, and
-           --block-words defaults to auto instead of 4.
-           Coverage is bit-identical for every engine/width/thread/stripe
-           choice.
-  atpg     <circuit> [--backtracks B] [--guidance cop|scoap|unguided]
-           [--degrade] [--time-limit SECS] [--max-evals N]
-           [--max-backtracks-total N] [--checkpoint F] [--resume F]
-           deterministic test generation; --guidance picks the backtrace
-           controllability model (default cop — conclusions are identical
-           either way, only the backtrack spend differs).  --degrade
-           retries guided aborts once with the unguided backtrace.
-  generate [--gates N] [--seed S] [--out FILE]
-           tiled synthetic netlist for scale work: composes the built-in
-           workloads into a lint-clean circuit of at least N gates
-           (default 10000, seed 42), deterministic by (N, seed), written
-           as .bench to FILE or stdout.
-  workloads                                       list built-in circuits
+#[cfg(test)]
+use wrt_atpg::ATPG_CHECKPOINT_KIND;
+#[cfg(test)]
+use wrt_core::OPTIMIZE_CHECKPOINT_KIND;
+#[cfg(test)]
+use wrt_robust::Checkpoint;
+#[cfg(test)]
+use wrt_serve::exec::{circuit_arg, engine_arg, load_circuit, sim_options_arg};
+#[cfg(test)]
+use wrt_sim::SimOptions;
 
-<circuit> is a workload name (see `wrt workloads`) or a .bench file path.
---threads T runs PPSFP fault simulation on T sharded worker threads
-(default: auto; results are identical for any T).  For optimize it
-requires --engine monte-carlo, the engine that fault-simulates.
-
-budgets: --time-limit SECS (wall clock, fractional ok) and --max-evals N
-bound a run; --max-backtracks-total N additionally bounds atpg.  The
-eval unit is deterministic per command: simulate counts gate evaluations
-of fault-free simulation (node count × patterns), optimize counts engine
-calls, atpg counts PODEM calls.  A tripped budget is not an error: the
-partial result is reported, and optimize/atpg write their resume state
-to the --checkpoint file (default: the --resume path).  --resume F
-continues bit-identically from a checkpoint; a missing, corrupt, or
-version-mismatched file is a clean error — garbage is never loaded.";
-
-fn load_circuit(arg: &str) -> Result<Circuit, String> {
-    if let Some(circuit) = wrt_workloads::by_name(arg) {
-        return Ok(circuit);
-    }
-    let text = std::fs::read_to_string(arg)
-        .map_err(|e| format!("`{arg}` is neither a workload name nor a readable file: {e}"))?;
-    wrt_circuit::parse_bench_named(&text, arg).map_err(|e| format!("parsing `{arg}`: {e}"))
-}
-
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-}
-
-fn parse_flag<T: std::str::FromStr>(
-    args: &[String],
-    name: &str,
-    default: T,
-) -> Result<T, String> {
-    match flag_value(args, name) {
-        None => Ok(default),
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| format!("invalid value `{raw}` for {name}")),
-    }
-}
-
-fn circuit_arg(args: &[String]) -> Result<Circuit, String> {
-    let name = args
-        .iter()
-        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
-        .ok_or_else(|| format!("missing circuit argument\n{USAGE}"))?;
-    load_circuit(name)
-}
-
-fn is_flag_value(args: &[String], candidate: &String) -> bool {
-    args.iter()
-        .position(|a| std::ptr::eq(a, candidate))
-        .is_some_and(|i| i > 0 && args[i - 1].starts_with("--"))
-}
-
-/// Parses the shared budget flags.  `allow_backtracks` gates
-/// `--max-backtracks-total`, which only the atpg search can honor.
-fn budget_arg(args: &[String], allow_backtracks: bool) -> Result<Budget, String> {
-    let mut budget = Budget::unlimited();
-    if let Some(raw) = flag_value(args, "--time-limit") {
-        let secs: f64 = raw
-            .parse()
-            .map_err(|_| format!("invalid value `{raw}` for --time-limit"))?;
-        if !secs.is_finite() || secs < 0.0 {
-            return Err("--time-limit is a non-negative number of seconds".into());
-        }
-        budget = budget.with_time_limit(Duration::from_secs_f64(secs));
-    }
-    if let Some(raw) = flag_value(args, "--max-evals") {
-        let max: u64 = raw
-            .parse()
-            .map_err(|_| format!("invalid value `{raw}` for --max-evals"))?;
-        budget = budget.with_max_evals(max);
-    }
-    if let Some(raw) = flag_value(args, "--max-backtracks-total") {
-        if !allow_backtracks {
-            return Err("--max-backtracks-total only applies to atpg".into());
-        }
-        let max: u64 = raw
-            .parse()
-            .map_err(|_| format!("invalid value `{raw}` for --max-backtracks-total"))?;
-        budget = budget.with_max_backtracks(max);
-    }
-    Ok(budget)
-}
-
-/// Loads the `--resume` checkpoint of the given subsystem kind.
-/// Missing, corrupt, truncated, version-mismatched, and foreign-kind
-/// files are all clean errors; damaged state is never deserialized.
-fn resume_arg(args: &[String], kind: &str) -> Result<Option<Checkpoint>, String> {
-    match flag_value(args, "--resume") {
-        None => Ok(None),
-        Some(path) => Checkpoint::read(Path::new(path), kind)
-            .map(Some)
-            .map_err(|e| format!("cannot resume from `{path}`: {e}")),
-    }
-}
-
-/// Where an interrupted run should write its resume state: the
-/// `--checkpoint` path, or (so a crash-loop workflow needs one flag) the
-/// `--resume` path it was loaded from.
-fn checkpoint_path_arg(args: &[String]) -> Option<PathBuf> {
-    flag_value(args, "--checkpoint")
-        .or_else(|| flag_value(args, "--resume"))
-        .map(PathBuf::from)
-}
-
-fn report_interrupt(what: &str, reason: BudgetExceeded, progress: &Progress) {
-    let total = progress
-        .total
-        .map_or_else(String::new, |t| format!(" of {t}"));
-    println!(
-        "{what} interrupted ({reason}) after {}{total} {}",
-        progress.done, progress.unit
-    );
-}
-
-/// Persists an interrupted run's checkpoint, or says why it cannot.
-fn write_checkpoint(ckpt: &Checkpoint, path: Option<&PathBuf>) -> Result<(), String> {
-    match path {
-        None => {
-            println!("no --checkpoint path given; resume state discarded");
-            Ok(())
-        }
-        Some(p) => {
-            ckpt.write_atomic(p)
-                .map_err(|e| format!("writing checkpoint: {e}"))?;
-            println!("resume state written to `{}` (pass --resume to continue)", p.display());
-            Ok(())
-        }
-    }
-}
-
-fn experiment_faults(circuit: &Circuit) -> FaultList {
-    let checkpoints = FaultList::checkpoints(circuit).collapse_equivalent(circuit);
-    let redundant = constant_line_faults(circuit, &checkpoints, 14);
-    checkpoints
-        .iter()
-        .zip(&redundant)
-        .filter(|(_, &r)| !r)
-        .map(|((_, f), _)| f)
-        .collect()
-}
-
-// Infallible, but every subcommand shares the Result signature the
-// dispatcher in `main` expects.
-#[allow(clippy::unnecessary_wraps)]
-pub fn generate(args: &[String]) -> Result<(), String> {
-    let gates: usize = parse_flag(args, "--gates", 10_000)?;
-    let seed: u64 = parse_flag(args, "--seed", 42)?;
-    let circuit = wrt_workloads::tiled(gates, seed);
-    let text = wrt_circuit::to_bench(&circuit);
-    match flag_value(args, "--out") {
-        Some(path) => {
-            std::fs::write(path, &text).map_err(|e| format!("writing `{path}`: {e}"))?;
-            eprintln!(
-                "wrote {} ({} gates, {} inputs, {} outputs) to {path}",
-                circuit.name(),
-                circuit.num_gates(),
-                circuit.num_inputs(),
-                circuit.num_outputs()
-            );
-        }
-        None => print!("{text}"),
-    }
-    Ok(())
-}
-
-pub fn workloads() {
-    for name in wrt_workloads::WORKLOAD_NAMES {
-        let circuit = wrt_workloads::by_name(name).expect("registered");
-        println!(
-            "{name:10} {:4} inputs {:4} outputs {:5} gates",
-            circuit.num_inputs(),
-            circuit.num_outputs(),
-            circuit.num_gates()
-        );
-    }
-}
-
-pub fn stats(args: &[String]) -> Result<(), String> {
-    let circuit = circuit_arg(args)?;
-    print!("{}", CircuitStats::of(&circuit));
-    let m = circuit.memory_footprint();
-    println!("{m}");
-    println!(
-        "  bytes/gate: {:.1}",
-        m.bytes_per_gate(circuit.num_gates())
-    );
-    Ok(())
-}
-
-pub fn analyze(args: &[String]) -> Result<(), String> {
-    let lint_only = args.iter().any(|a| a == "--lint");
-    let json = args.iter().any(|a| a == "--json");
-    let target = args
-        .iter()
-        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
-        .ok_or_else(|| format!("missing circuit argument (or `all`)\n{USAGE}"))?;
-
-    // (name, circuit, text-level findings for .bench files).
-    let mut subjects: Vec<(String, Circuit, Vec<wrt_analyze::Finding>)> = Vec::new();
-    if target == "all" {
-        for name in wrt_workloads::WORKLOAD_NAMES {
-            let circuit = wrt_workloads::by_name(name).expect("registered");
-            subjects.push(((*name).to_string(), circuit, Vec::new()));
-        }
-    } else if let Some(circuit) = wrt_workloads::by_name(target) {
-        subjects.push((target.clone(), circuit, Vec::new()));
-    } else {
-        let text = std::fs::read_to_string(target).map_err(|e| {
-            format!("`{target}` is neither a workload name, `all`, nor a readable file: {e}")
-        })?;
-        // Text-level lints first: they catch loops and undriven nets that
-        // would make parsing fail outright.
-        let text_findings = wrt_analyze::lint_bench_text(&text);
-        match wrt_circuit::parse_bench_named(&text, target) {
-            Ok(circuit) => subjects.push((target.clone(), circuit, text_findings)),
-            Err(e) => {
-                if text_findings.is_empty() {
-                    return Err(format!("parsing `{target}`: {e}"));
-                }
-                for finding in &text_findings {
-                    println!("{finding}");
-                }
-                return Err(format!("{target}: netlist does not parse: {e}"));
-            }
-        }
-    }
-
-    let mut total_findings = 0usize;
-    let mut json_reports = Vec::new();
-    for (name, circuit, text_findings) in &subjects {
-        let report = wrt_analyze::analyze(circuit);
-        total_findings += text_findings.len() + report.findings.len();
-        if lint_only {
-            for finding in text_findings.iter().chain(&report.findings) {
-                println!("{name}: {finding}");
-            }
-        } else if json {
-            json_reports.push(report.to_json());
-        } else {
-            for finding in text_findings {
-                println!("  text: {finding}");
-            }
-            print!("{report}");
-            let m = circuit.memory_footprint();
-            println!(
-                "memory: {} bytes ({:.1} bytes/gate)",
-                m.total(),
-                m.bytes_per_gate(circuit.num_gates())
-            );
-        }
-    }
-    if json && !lint_only {
-        if subjects.len() == 1 {
-            print!("{}", json_reports[0]);
-        } else {
-            println!("[{}]", json_reports.join(", "));
-        }
-    }
-    if lint_only {
-        if total_findings == 0 {
-            println!(
-                "lint clean: {} circuit(s), 0 findings",
-                subjects.len()
-            );
-            return Ok(());
-        }
-        return Err(format!("lint failed: {total_findings} finding(s)"));
-    }
-    Ok(())
-}
-
-/// Builds the detection-probability engine selected by `--engine`,
-/// threading `--threads` into the Monte-Carlo simulation path.
-///
-/// Sampling-only flags are rejected for engines that cannot honor them,
-/// instead of being silently ignored.
-fn engine_arg(args: &[String]) -> Result<Box<dyn DetectionProbabilityEngine>, String> {
-    let engine = flag_value(args, "--engine").unwrap_or("incremental-cop");
-    if !["incremental-cop", "cop", "stafan", "monte-carlo"].contains(&engine) {
-        return Err(format!(
-            "unknown engine `{engine}` (expected incremental-cop, cop, stafan, or monte-carlo)"
-        ));
-    }
-    if engine != "monte-carlo" {
-        for flag in ["--threads", "--mc-patterns"] {
-            if flag_value(args, flag).is_some() {
-                return Err(format!(
-                    "{flag} only applies to fault-simulating engines; add --engine monte-carlo"
-                ));
-            }
-        }
-    }
-    if engine.ends_with("cop") && flag_value(args, "--seed").is_some() {
-        return Err("--seed only applies to sampling engines (stafan, monte-carlo)".into());
-    }
-    if engine != "incremental-cop" && flag_value(args, "--commit-batch").is_some() {
-        return Err(
-            "--commit-batch only applies to the pending-overlay engine; use --engine incremental-cop"
-                .into(),
-        );
-    }
-    let threads: usize = parse_flag(args, "--threads", 0)?;
-    let seed: u64 = parse_flag(args, "--seed", 42)?;
-    Ok(match engine {
-        "incremental-cop" => {
-            // Default batch 4: the measured sweet spot on the wide- and
-            // global-cone workloads; 0/1 fall back to per-move commits.
-            let batch: usize = parse_flag(args, "--commit-batch", 4)?;
-            Box::new(IncrementalCop::new().with_commit_batch(batch))
-        }
-        "cop" => Box::new(CopEngine::new()),
-        "stafan" => Box::new(StafanEngine::new(64 * 256, seed)),
-        "monte-carlo" => {
-            let patterns: u64 = parse_flag(args, "--mc-patterns", 64 * 256)?;
-            Box::new(MonteCarloEngine::new(patterns, seed).with_threads(threads))
-        }
-        _ => unreachable!("engine name validated above"),
+/// The process-wide execution context: one registry (so repeated
+/// in-process calls share parsed circuits and cached baselines, exactly
+/// like a server session) with the Ctrl-C flag attached, so every
+/// budgeted run cancels into its structured `Interrupted` path — partial
+/// result plus checkpoint — instead of dying mid-write.
+fn context() -> &'static ExecContext {
+    static CTX: OnceLock<ExecContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        ExecContext::new(Arc::new(Registry::new())).with_cancel(wrt_signal::ctrl_c_flag())
     })
 }
 
-pub fn optimize(args: &[String]) -> Result<(), String> {
-    let circuit = circuit_arg(args)?;
-    let grid: f64 = parse_flag(args, "--grid", 0.05)?;
-    if !(grid > 0.0 && grid < 0.5) {
-        return Err("--grid is a spacing in (0, 0.5), e.g. 0.05".into());
-    }
-    let confidence: f64 = parse_flag(args, "--confidence", 0.999)?;
-    if !(0.0..1.0).contains(&confidence) || confidence <= 0.0 {
-        return Err("--confidence must be in (0, 1)".into());
-    }
-    let faults = experiment_faults(&circuit);
-    let config = OptimizeConfig {
-        confidence,
-        ..OptimizeConfig::default()
-    };
-    let config = match flag_value(args, "--seed-weights") {
-        None | Some("uniform") => config,
-        Some("scoap") => config.scoap_seeded(&circuit),
-        Some(other) => {
-            return Err(format!(
-                "unknown --seed-weights `{other}` (expected uniform or scoap)"
-            ))
-        }
-    };
-    let mut engine = engine_arg(args)?;
-    let budget = budget_arg(args, false)?;
-    let resume = resume_arg(args, OPTIMIZE_CHECKPOINT_KIND)?;
-    let run = optimize_budgeted(
-        &circuit,
-        &faults,
-        engine.as_mut(),
-        &config,
-        &budget,
-        resume.as_ref(),
-    )
-    .map_err(|e| format!("cannot resume: {e}"))?;
-    let result = match run.outcome {
-        RunOutcome::Complete(result) => result,
-        RunOutcome::Interrupted {
-            partial,
-            reason,
-            progress,
-        } => {
-            report_interrupt("optimization", reason, &progress);
-            let ckpt = run.checkpoint.as_ref().expect("interrupted runs checkpoint");
-            write_checkpoint(ckpt, checkpoint_path_arg(args).as_ref())?;
-            partial
-        }
-    };
-    println!(
-        "test length: {:.3e} -> {:.3e}  (factor {:.1}, {} sweeps, {} engine calls)",
-        result.initial_length,
-        result.final_length,
-        result.improvement_factor(),
-        result.sweeps.len(),
-        result.engine_calls
-    );
-    let weights = quantize_weights(&result.weights, grid);
-    println!("optimized probabilities (grid {grid}):");
-    for (&pi, w) in circuit.inputs().iter().zip(&weights) {
-        println!("  {:<12} {w:.2}", circuit.node(pi).name());
-    }
+fn emit(result: Result<String, String>) -> Result<(), String> {
+    let text = result?;
+    print!("{text}");
     Ok(())
+}
+
+pub fn stats(args: &[String]) -> Result<(), String> {
+    emit(exec::stats(context(), args))
+}
+
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    emit(exec::analyze(context(), args))
+}
+
+pub fn estimate(args: &[String]) -> Result<(), String> {
+    emit(exec::estimate(context(), args))
+}
+
+pub fn eco(args: &[String]) -> Result<(), String> {
+    emit(exec::eco(context(), args))
+}
+
+pub fn optimize(args: &[String]) -> Result<(), String> {
+    emit(exec::optimize(context(), args))
 }
 
 pub fn simulate(args: &[String]) -> Result<(), String> {
-    let circuit = circuit_arg(args)?;
-    let patterns: u64 = parse_flag(args, "--patterns", 0)?;
-    if patterns == 0 {
-        return Err("simulate requires --patterns N".into());
-    }
-    let seed: u64 = parse_flag(args, "--seed", 42)?;
-    let weights = match flag_value(args, "--weights") {
-        None => vec![0.5; circuit.num_inputs()],
-        Some(raw) => {
-            let parsed: Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
-            let parsed = parsed.map_err(|_| "invalid --weights list".to_string())?;
-            if parsed.len() != circuit.num_inputs() {
-                return Err(format!(
-                    "--weights needs {} values, got {}",
-                    circuit.num_inputs(),
-                    parsed.len()
-                ));
-            }
-            parsed
-        }
-    };
-    let threads: usize = parse_flag(args, "--threads", 0)?;
-    let opts = sim_options_arg(args)?;
-    let budget = budget_arg(args, false)?;
-    let faults = experiment_faults(&circuit);
-    if flag_value(args, "--pattern-stripes").is_some() {
-        let stripes: usize = parse_flag(args, "--pattern-stripes", 0)?;
-        if opts.engine == SimEngineKind::Dense {
-            return Err("--pattern-stripes requires --engine event (the 2D tiled \
-                 engine's event axis); drop --engine dense"
-                .into());
-        }
-        // With no explicit --block-words the tiled engine picks the
-        // width itself (pattern count and cache budget), instead of
-        // inheriting the 1D default of 4.
-        let block_words = if flag_value(args, "--block-words").is_some() {
-            opts.block_words
-        } else {
-            0
-        };
-        let topts = TileOptions {
-            block_words,
-            pattern_stripes: stripes,
-            fault_shards: 0,
-            threads,
-            batch: BatchMode::Auto,
-        };
-        let outcome = fault_coverage_tiled_robust(
-            &circuit,
-            &faults,
-            WeightedPatterns::new(weights, seed),
-            patterns,
-            true,
-            &topts,
-            &budget,
-        );
-        let robust = match outcome {
-            RunOutcome::Complete(robust) => robust,
-            RunOutcome::Interrupted {
-                partial,
-                reason,
-                progress,
-            } => {
-                report_interrupt("simulation", reason, &progress);
-                partial
-            }
-        };
-        println!("{}", robust.result);
-        if !robust.recovery.is_clean() {
-            println!(
-                "tile recovery: {} worker panic(s), {} replay(s), {} unresolved — {}",
-                robust.recovery.worker_panics,
-                robust.recovery.replays,
-                robust.recovery.unresolved.len(),
-                robust.recovery.ladder,
-            );
-        }
-        let s = robust.stats;
-        println!(
-            "engine tiled-2d (W={}): {} stripe(s) × {} shard(s) on {} thread(s), \
-             {} tile(s), {} steal(s), {} batched fault(s) in {} batch(es)",
-            s.block_words, s.stripes, s.shards, s.threads, s.tiles, s.steals,
-            s.batch_dense_faults, s.batches,
-        );
-        println!(
-            "gate evals: {} total ({} event axis, {} batch axis, {} probe)",
-            s.sim.node_evals, s.event_node_evals, s.batch_node_evals, s.probe_node_evals,
-        );
-        return Ok(());
-    }
-    let outcome = fault_coverage_robust(
-        &circuit,
-        &faults,
-        WeightedPatterns::new(weights, seed),
-        patterns,
-        true,
-        threads,
-        opts,
-        &budget,
-    );
-    let robust = match outcome {
-        RunOutcome::Complete(robust) => robust,
-        RunOutcome::Interrupted {
-            partial,
-            reason,
-            progress,
-        } => {
-            report_interrupt("simulation", reason, &progress);
-            partial
-        }
-    };
-    println!("{}", robust.result);
-    if !robust.recovery.is_clean() {
-        println!(
-            "shard recovery: {} worker panic(s), {} replay(s), {} unresolved — {}",
-            robust.recovery.worker_panics,
-            robust.recovery.replays,
-            robust.recovery.unresolved.len(),
-            robust.recovery.ladder,
-        );
-    }
-    let detected = robust.result.num_detected();
-    if detected > 0 {
-        println!(
-            "engine {}: {} gate evals ({:.1} per detected fault, {:.1} % frontier die-out)",
-            opts.engine,
-            robust.stats.node_evals,
-            robust.stats.node_evals as f64 / detected as f64,
-            robust.stats.frontier_dieout_rate() * 100.0,
-        );
-    }
-    Ok(())
-}
-
-/// Parses the simulate subcommand's `--engine dense|event` and
-/// `--block-words W` into validated [`SimOptions`].
-fn sim_options_arg(args: &[String]) -> Result<SimOptions, String> {
-    let engine: SimEngineKind = match flag_value(args, "--engine") {
-        None => SimEngineKind::Event,
-        Some(raw) => raw.parse()?,
-    };
-    let default_words = match engine {
-        SimEngineKind::Event => 4,
-        SimEngineKind::Dense => 1,
-    };
-    let block_words: usize = parse_flag(args, "--block-words", default_words)?;
-    let opts = SimOptions {
-        engine,
-        block_words,
-    };
-    opts.validate()?;
-    Ok(opts)
+    emit(exec::simulate(context(), args))
 }
 
 pub fn atpg(args: &[String]) -> Result<(), String> {
-    let circuit = circuit_arg(args)?;
-    let backtracks: usize = parse_flag(args, "--backtracks", 10_000)?;
-    let guidance = match flag_value(args, "--guidance") {
-        None | Some("cop") => BacktraceGuidance::Cop,
-        Some("scoap") => BacktraceGuidance::Scoap,
-        Some("unguided") => BacktraceGuidance::Unguided,
-        Some(other) => {
-            return Err(format!(
-                "unknown --guidance `{other}` (expected cop, scoap, or unguided)"
-            ))
-        }
-    };
-    let faults = FaultList::checkpoints(&circuit).collapse_equivalent(&circuit);
-    let config = AtpgConfig {
-        backtrack_limit: backtracks,
-        guidance,
-        degrade_on_abort: args.iter().any(|a| a == "--degrade"),
-        ..AtpgConfig::default()
-    };
-    let budget = budget_arg(args, true)?;
-    let resume = resume_arg(args, ATPG_CHECKPOINT_KIND)?;
-    let run = generate_tests_budgeted(&circuit, &faults, &config, &budget, resume.as_ref())
-        .map_err(|e| format!("cannot resume: {e}"))?;
-    let report = match run.outcome {
-        RunOutcome::Complete(report) => report,
-        RunOutcome::Interrupted {
-            partial,
-            reason,
-            progress,
-        } => {
-            report_interrupt("atpg", reason, &progress);
-            let ckpt = run.checkpoint.as_ref().expect("interrupted runs checkpoint");
-            write_checkpoint(ckpt, checkpoint_path_arg(args).as_ref())?;
-            partial
-        }
-    };
-    println!(
-        "{} faults: {} detected, {} redundant, {} aborted, {} not attempted",
-        faults.len(),
-        report.detected.len(),
-        report.redundant.len(),
-        report.aborted.len(),
-        report.survivors.len()
-    );
-    println!(
-        "{} tests generated with {} PODEM calls, {} backtracks (coverage {:.1} %)",
-        report.tests.len(),
-        report.podem_calls,
-        report.backtracks,
-        report.coverage() * 100.0
-    );
-    if !run.ladder.is_empty() {
-        println!("degradation: {}", run.ladder);
+    emit(exec::atpg(context(), args))
+}
+
+pub fn generate(args: &[String]) -> Result<(), String> {
+    emit(exec::generate(args))
+}
+
+pub fn load(args: &[String]) -> Result<(), String> {
+    emit(exec::load(context(), args))
+}
+
+pub fn stat() -> Result<(), String> {
+    emit(Ok(exec::stat(context())))
+}
+
+pub fn workloads() {
+    print!("{}", exec::workloads_list());
+}
+
+/// `wrt serve [--addr HOST:PORT] [--deadline SECS]`: run the resident
+/// server until `shutdown` arrives on a session or Ctrl-C lands here.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7117");
+    let deadline: f64 = parse_flag(args, "--deadline", 0.0)?;
+    if !deadline.is_finite() || deadline < 0.0 {
+        return Err("--deadline is a non-negative number of seconds (0 = none)".into());
     }
+    let deadline = (deadline > 0.0).then(|| Duration::from_secs_f64(deadline));
+    let handle = wrt_serve::server::spawn(Arc::new(Registry::new()), addr, deadline)?;
+    println!(
+        "wrt serve: listening on {} (per-request deadline: {}); `wrt client {} shutdown` or Ctrl-C stops it",
+        handle.addr(),
+        deadline.map_or_else(|| "none".to_string(), |d| format!("{}s", d.as_secs_f64())),
+        handle.addr(),
+    );
+    let cancel = wrt_signal::ctrl_c_flag();
+    while !handle.finished() {
+        if cancel.load(Ordering::SeqCst) {
+            handle.trigger_shutdown();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    handle.wait();
+    println!("wrt serve: stopped");
+    Ok(())
+}
+
+/// `wrt client <addr> <command ...>`: one request to a running server.
+pub fn client(args: &[String]) -> Result<(), String> {
+    let Some((addr, argv)) = args.split_first() else {
+        return Err(format!("client requires <addr> <command ...>\n{USAGE}"));
+    };
+    remote(addr, argv)
+}
+
+/// The `wrt --remote <addr> <command ...>` form: identical to `client`.
+pub fn remote(addr: &str, argv: &[String]) -> Result<(), String> {
+    let out = wrt_serve::client::run(addr, argv)?;
+    print!("{out}");
     Ok(())
 }
 

@@ -4,6 +4,8 @@
 //! ```text
 //! wrt stats    <netlist.bench | workload>          circuit statistics
 //! wrt analyze  <netlist.bench | workload | all> [--lint] [--json]
+//! wrt estimate <netlist.bench | workload> [--weights w1,w2,…] [--top K]
+//! wrt eco      <netlist.bench | workload> --set g=KIND[,…] [--top K]
 //! wrt optimize <netlist.bench | workload> [--grid G] [--confidence C]
 //!              [--engine cop|stafan|monte-carlo] [--threads T]
 //!              [--seed-weights uniform|scoap]
@@ -13,10 +15,19 @@
 //!              [--guidance cop|scoap|unguided]
 //! wrt generate [--gates N] [--seed S] [--out FILE]  tiled synthetic netlist
 //! wrt workloads                                    list built-in circuits
+//! wrt serve    [--addr HOST:PORT] [--deadline SECS] resident server
+//! wrt client   <addr> <command ...>                one request to a server
+//! wrt --remote <addr> <command ...>                same thing, prefix form
 //! ```
 //!
 //! A circuit argument is first tried as a workload registry name
-//! (e.g. `s1`, `c7552ish`), then as a `.bench` file path.
+//! (e.g. `s1`, `c7552ish`), then as a `.bench` file path; `#<uid>`
+//! addresses a circuit already registered in the target registry.
+//!
+//! Long-running commands respond to Ctrl-C by cancelling cooperatively:
+//! the run stops at its next budget check-in with a structured partial
+//! result (and, for optimize/atpg, a resume checkpoint) instead of the
+//! process being killed mid-write.  A second Ctrl-C kills the process.
 
 use std::process::ExitCode;
 
@@ -29,12 +40,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match command.as_str() {
+        "--remote" => match rest.split_first() {
+            Some((addr, argv)) => commands::remote(addr, argv),
+            None => Err(format!("--remote requires <addr> <command ...>\n{}", commands::USAGE)),
+        },
         "stats" => commands::stats(rest),
         "analyze" => commands::analyze(rest),
+        "estimate" => commands::estimate(rest),
+        "eco" => commands::eco(rest),
         "optimize" => commands::optimize(rest),
         "simulate" => commands::simulate(rest),
         "atpg" => commands::atpg(rest),
         "generate" => commands::generate(rest),
+        "load" => commands::load(rest),
+        "stat" => commands::stat(),
+        "serve" => commands::serve(rest),
+        "client" => commands::client(rest),
         "workloads" => {
             commands::workloads();
             Ok(())

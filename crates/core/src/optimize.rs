@@ -369,9 +369,10 @@ impl Descent {
     }
 
     /// Serializes the state at the current sweep boundary.
-    fn to_checkpoint(&self, fingerprint: u64) -> Checkpoint {
+    fn to_checkpoint(&self, fingerprint: u64, circuit: &Circuit) -> Checkpoint {
         let mut c = Checkpoint::new(OPTIMIZE_CHECKPOINT_KIND);
         c.put("fingerprint", format!("{fingerprint:016x}"));
+        c.put_circuit_identity(circuit.structural_digest(), circuit.uid());
         c.put("num_inputs", self.weights.len());
         c.put_f64_slice_bits("weights", &self.weights);
         c.put_f64_slice_bits("best_weights", &self.best_weights);
@@ -395,7 +396,7 @@ impl Descent {
     /// [`Descent::to_checkpoint`], validating the run fingerprint.
     fn from_checkpoint(
         ckpt: &Checkpoint,
-        num_inputs: usize,
+        circuit: &Circuit,
         fingerprint: u64,
     ) -> Result<Descent, CheckpointError> {
         let recorded = ckpt.get("fingerprint")?;
@@ -407,6 +408,10 @@ impl Descent {
                 ),
             });
         }
+        // The fingerprint only hashes circuit *counts*; the structural
+        // digest (when recorded) pins the resume to the exact netlist.
+        ckpt.validate_circuit_digest(circuit.structural_digest())?;
+        let num_inputs = circuit.num_inputs();
         let stored_inputs: usize = ckpt.get_parse("num_inputs")?;
         if stored_inputs != num_inputs {
             return Err(CheckpointError::Corrupt {
@@ -533,7 +538,7 @@ pub fn optimize_budgeted(
                     found: ckpt.kind().to_string(),
                 });
             }
-            let descent = Descent::from_checkpoint(ckpt, circuit.num_inputs(), fingerprint)?;
+            let descent = Descent::from_checkpoint(ckpt, circuit, fingerprint)?;
             // The live list is derived state: the original fault list
             // minus the checkpointed exclusions, in list order.
             let excluded: std::collections::HashSet<FaultId> =
@@ -576,7 +581,7 @@ pub fn optimize_budgeted(
                 total: Some(config.max_sweeps as u64),
                 unit: "sweeps",
             };
-            let checkpoint = descent.to_checkpoint(fingerprint);
+            let checkpoint = descent.to_checkpoint(fingerprint, circuit);
             Ok(BudgetedOptimize {
                 outcome: RunOutcome::Interrupted {
                     partial: descent.into_result(),
@@ -991,6 +996,30 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+
+        // A structural twin — same input/node/fault counts, different
+        // gates — slips past the count-only fingerprint; the recorded
+        // structural digest must refuse it.
+        let mut src = String::from("OUTPUT(y)\n");
+        for i in 0..6 {
+            src.push_str(&format!("INPUT(x{i})\n"));
+        }
+        src.push_str("y = OR(x0, x1, x2, x3, x4, x5)\n");
+        let twin = wrt_circuit::parse_bench(&src).unwrap();
+        let twin_faults = FaultList::checkpoints(&twin);
+        assert_eq!(twin_faults.len(), faults.len(), "twin must match counts");
+        assert_ne!(twin.structural_digest(), c.structural_digest());
+        let mut engine = CopEngine::new();
+        let err = optimize_budgeted(
+            &twin,
+            &twin_faults,
+            &mut engine,
+            &config,
+            &wrt_robust::Budget::unlimited(),
+            Some(&ckpt),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("structural digest"), "{err}");
 
         // A checkpoint of some other subsystem must be a WrongKind error.
         let foreign = Checkpoint::new("atpg");

@@ -49,18 +49,36 @@ pub(crate) fn node_probability(
     input_prob: &impl Fn(usize) -> f64,
     p: &impl Fn(NodeId) -> f64,
 ) -> f64 {
-    match node.kind() {
+    node_probability_of_kind(circuit, id, node.kind(), node.fanin(), input_prob, p)
+}
+
+/// [`node_probability`] with the gate kind supplied explicitly.
+///
+/// The ECO overlay ([`crate::SessionCop`]) evaluates what-if gate-kind
+/// mutations without building a mutated circuit: it calls this function
+/// with the overridden kind and the *unchanged* fanin list, so a later
+/// cold recompute of the really-mutated circuit produces bit-identical
+/// values (same function, same operand order).
+pub(crate) fn node_probability_of_kind(
+    circuit: &Circuit,
+    id: NodeId,
+    kind: GateKind,
+    fanin: &[NodeId],
+    input_prob: &impl Fn(usize) -> f64,
+    p: &impl Fn(NodeId) -> f64,
+) -> f64 {
+    match kind {
         GateKind::Input => input_prob(circuit.input_position(id).expect("input")),
         GateKind::Const0 => 0.0,
         GateKind::Const1 => 1.0,
-        GateKind::And => node.fanin().iter().map(|&f| p(f)).product(),
-        GateKind::Nand => 1.0 - node.fanin().iter().map(|&f| p(f)).product::<f64>(),
-        GateKind::Or => 1.0 - node.fanin().iter().map(|&f| 1.0 - p(f)).product::<f64>(),
-        GateKind::Nor => node.fanin().iter().map(|&f| 1.0 - p(f)).product::<f64>(),
-        GateKind::Xor => xor_prob(node.fanin().iter().map(|&f| p(f))),
-        GateKind::Xnor => 1.0 - xor_prob(node.fanin().iter().map(|&f| p(f))),
-        GateKind::Not => 1.0 - p(node.fanin()[0]),
-        GateKind::Buf => p(node.fanin()[0]),
+        GateKind::And => fanin.iter().map(|&f| p(f)).product(),
+        GateKind::Nand => 1.0 - fanin.iter().map(|&f| p(f)).product::<f64>(),
+        GateKind::Or => 1.0 - fanin.iter().map(|&f| 1.0 - p(f)).product::<f64>(),
+        GateKind::Nor => fanin.iter().map(|&f| 1.0 - p(f)).product::<f64>(),
+        GateKind::Xor => xor_prob(fanin.iter().map(|&f| p(f))),
+        GateKind::Xnor => 1.0 - xor_prob(fanin.iter().map(|&f| p(f))),
+        GateKind::Not => 1.0 - p(fanin[0]),
+        GateKind::Buf => p(fanin[0]),
     }
 }
 
@@ -151,8 +169,18 @@ pub(crate) fn stem_observability(
 /// other pins hold non-controlling values (the pin observability is the
 /// gate's stem observability times this factor).
 pub(crate) fn pin_sensitivity(node: Node<'_>, pin: usize, p: &impl Fn(NodeId) -> f64) -> f64 {
-    let fanin = node.fanin();
-    match node.kind() {
+    pin_sensitivity_of_kind(node.kind(), node.fanin(), pin, p)
+}
+
+/// [`pin_sensitivity`] with the gate kind supplied explicitly (the ECO
+/// overlay's kind-override entry point; see [`node_probability_of_kind`]).
+pub(crate) fn pin_sensitivity_of_kind(
+    kind: GateKind,
+    fanin: &[NodeId],
+    pin: usize,
+    p: &impl Fn(NodeId) -> f64,
+) -> f64 {
+    match kind {
         GateKind::And | GateKind::Nand => fanin
             .iter()
             .enumerate()

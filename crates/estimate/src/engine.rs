@@ -15,7 +15,13 @@ use crate::stafan::StafanCounts;
 /// input probabilities `X`.  The optimizer in `wrt-core` is generic over
 /// this trait, mirroring the paper's remark that "with slight modifications
 /// PREDICT or STAFAN will presumably work as well".
-pub trait DetectionProbabilityEngine {
+///
+/// `Send` is a supertrait: every engine is plain owned data (scratch
+/// vectors, RNG state, config), so a per-session engine can live on its
+/// session's thread in `wrt-serve` without any shared lock.  Shared
+/// *read-only* state belongs in [`crate::CopBaseline`] behind an `Arc`,
+/// not in the engine.
+pub trait DetectionProbabilityEngine: Send {
     /// Estimates the detection probability of every fault in `faults`
     /// under independent input probabilities `input_probs`.
     ///

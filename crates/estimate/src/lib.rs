@@ -58,6 +58,7 @@ mod hybrid;
 mod incremental;
 mod rank;
 mod redundancy;
+mod shared;
 mod stafan;
 
 pub use bdd::{exact_signal_probabilities_bdd, BddEngine, BddManager, BddOverflow};
@@ -72,4 +73,5 @@ pub use exact::{exact_detection_probability, exact_signal_probability};
 pub use incremental::{IncrementalCop, IncrementalStats};
 pub use rank::spearman;
 pub use redundancy::constant_line_faults;
+pub use shared::{CopBaseline, EcoMutation, EcoStats, SessionCop};
 pub use stafan::StafanCounts;

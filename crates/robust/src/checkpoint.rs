@@ -181,6 +181,38 @@ impl Checkpoint {
         self.put(key, joined.join(","));
     }
 
+    /// Records which circuit this checkpoint belongs to: the stable
+    /// structural digest (identity across processes) and the
+    /// process-local uid (for log correlation only — uids are assigned
+    /// per process and never validated on resume).
+    pub fn put_circuit_identity(&mut self, digest: u64, uid: u64) {
+        self.put("circuit_digest", format!("{digest:016x}"));
+        self.put("circuit_uid", uid);
+    }
+
+    /// Validates the recorded structural digest against the circuit a
+    /// resume is targeting.  Checkpoints written before circuit identity
+    /// was recorded carry no digest and pass unchecked.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] naming both digests when they
+    /// disagree.
+    pub fn validate_circuit_digest(&self, digest: u64) -> Result<(), CheckpointError> {
+        if let Ok(recorded) = self.get("circuit_digest") {
+            let expected = format!("{digest:016x}");
+            if recorded != expected {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!(
+                        "checkpoint records circuit digest {recorded}, but this circuit's \
+                         structural digest is {expected}; resume must target the same circuit"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Looks up a field's raw value.
     ///
     /// # Errors
@@ -532,6 +564,24 @@ mod tests {
             Checkpoint::read(&missing, "optimize"),
             Err(CheckpointError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn circuit_identity_round_trips_and_gates_resume() {
+        let mut c = Checkpoint::new("optimize");
+        c.put_circuit_identity(0xDEAD_BEEF, 7);
+        assert_eq!(c.get("circuit_digest").unwrap(), "00000000deadbeef");
+        assert_eq!(c.get("circuit_uid").unwrap(), "7");
+        assert!(c.validate_circuit_digest(0xDEAD_BEEF).is_ok());
+        match c.validate_circuit_digest(0xFEED) {
+            Err(CheckpointError::Corrupt { reason }) => {
+                assert!(reason.contains("00000000deadbeef"));
+                assert!(reason.contains("000000000000feed"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Pre-identity checkpoints carry no digest and pass unchecked.
+        assert!(Checkpoint::new("optimize").validate_circuit_digest(1).is_ok());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Client side of the line protocol: one connection, one request, one
+//! framed response.
+//!
+//! The CLI's `wrt client <addr> <verb...>` and `wrt --remote <addr>`
+//! forms both land here, so remote rendering is byte-identical to local
+//! rendering by construction — the server runs the same verb functions
+//! and the frame codec restores the exact payload text.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{read_response, LineReader, MAX_LINE};
+
+/// Connect timeout; responses themselves may take as long as the server
+/// allows its verbs to run.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Sends one request and returns the server's verb result: the outer
+/// `Err` is a transport/protocol failure, the inner result mirrors the
+/// remote verb's own success or failure.
+///
+/// # Errors
+///
+/// Unresolvable or unreachable addresses, argv not representable as one
+/// protocol line, transport failures, malformed frames.
+pub fn request(addr: &str, argv: &[String]) -> Result<Result<String, String>, String> {
+    let line = encode_request(argv)?;
+    let mut stream = connect(addr)?;
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut reader = LineReader::new(&stream);
+    read_response(&mut reader, &mut || true)
+}
+
+/// [`request`] with the two error layers flattened, for callers that
+/// treat "server unreachable" and "verb failed over there" the same way.
+///
+/// # Errors
+///
+/// Transport failures and remote verb failures alike.
+pub fn run(addr: &str, argv: &[String]) -> Result<String, String> {
+    request(addr, argv)?
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    use std::net::ToSocketAddrs;
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{addr}` resolves to no address"))?;
+    TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))
+}
+
+/// Renders argv as one request line, refusing tokens the protocol
+/// cannot carry.
+fn encode_request(argv: &[String]) -> Result<String, String> {
+    if argv.is_empty() {
+        return Err("empty request".into());
+    }
+    for token in argv {
+        if token.chars().any(char::is_whitespace) {
+            return Err(format!(
+                "argument `{token}` contains whitespace, which the line protocol \
+                 cannot carry; use a path or name without spaces"
+            ));
+        }
+    }
+    let line = format!("{}\n", argv.join(" "));
+    if line.len() > MAX_LINE {
+        return Err(format!("request exceeds the {MAX_LINE} byte protocol cap"));
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_rejects_unrepresentable_argv() {
+        let ok = encode_request(&["stats".into(), "s1".into()]).expect("encodes");
+        assert_eq!(ok, "stats s1\n");
+        assert!(encode_request(&[]).is_err());
+        assert!(encode_request(&["stats".into(), "my circuit".into()]).is_err());
+        assert!(encode_request(&["stats".into(), "evil\nstat".into()]).is_err());
+        let huge = "x".repeat(MAX_LINE + 1);
+        assert!(encode_request(&[huge]).is_err());
+    }
+
+    #[test]
+    fn connect_failures_are_structured() {
+        assert!(run("definitely-not-a-host-:99", &["stat".into()]).is_err());
+        // An unused port on localhost: refused, not hung.
+        assert!(run("127.0.0.1:1", &["stat".into()]).is_err());
+    }
+}

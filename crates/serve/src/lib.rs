@@ -1,0 +1,32 @@
+//! Testability-as-a-service: the resident `wrt serve` server, the shared
+//! engine registry behind it, and the verb hub both it and the batch CLI
+//! execute.
+//!
+//! The crate is layered so that "served" is a transport, not a fork of
+//! the tool:
+//!
+//! - [`registry`] — long-lived shared state: circuits by uid, collapsed
+//!   fault lists, and COP baselines cached per weight vector, all behind
+//!   short lookup-only locks,
+//! - [`exec`] — one function per verb, parsing CLI argv and rendering to
+//!   a `String`; the batch CLI prints it, the server frames it,
+//! - [`protocol`] — the line protocol (request = argv tokens on one
+//!   line, response = `ok|err <n>` plus `n` payload lines) with bounded,
+//!   timeout-tolerant reads,
+//! - [`server`] — thread-per-connection sessions with panic isolation,
+//!   default deadlines, and client-disconnect cancellation,
+//! - [`client`] — the `wrt client` / `wrt --remote` sender.
+//!
+//! Because both paths run the *same* verb functions over the *same*
+//! registry type, a served response is byte-identical to the batch CLI's
+//! stdout for the same argv — enforced end to end by `bench_serve`.
+
+pub mod client;
+pub mod exec;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use exec::{execute, ExecContext, USAGE};
+pub use registry::Registry;
+pub use server::{spawn, ServerHandle};

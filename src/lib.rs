@@ -21,6 +21,9 @@
 //! * [`robust`] — run-to-completion resilience: budgets with structured
 //!   interruption, checkpoint/resume sidecars, the graceful-degradation
 //!   ladder, and the deterministic fail-point registry;
+//! * [`serve`] — testability-as-a-service: the resident `wrt serve`
+//!   server, its shared engine registry, the line protocol, and the
+//!   verb hub the batch CLI shares with it;
 //! * [`workloads`] — the twelve benchmark circuit generators.
 //!
 //! # Quickstart
@@ -50,6 +53,7 @@ pub use wrt_core as core;
 pub use wrt_estimate as estimate;
 pub use wrt_fault as fault;
 pub use wrt_robust as robust;
+pub use wrt_serve as serve;
 pub use wrt_sim as sim;
 pub use wrt_workloads as workloads;
 

@@ -74,6 +74,19 @@ fn patterns(circuit: &Circuit) -> WeightedPatterns {
     WeightedPatterns::equiprobable(circuit.num_inputs(), 0xC0DE)
 }
 
+/// An `--set` spec flipping the first AND/NAND gate — a legal ECO on any
+/// workload that has one.
+fn flippable_gate_spec(circuit: &Circuit) -> String {
+    circuit
+        .iter()
+        .find_map(|(_, n)| match n.kind() {
+            wrt::circuit::GateKind::And => Some(format!("{}=OR", n.name())),
+            wrt::circuit::GateKind::Nand => Some(format!("{}=NOR", n.name())),
+            _ => None,
+        })
+        .expect("workload has a flippable gate")
+}
+
 /// Injects at a sharded-simulation site and asserts full recovery: the
 /// run completes, every fault is accounted for, and the result is
 /// bit-identical to the serial engine's.
@@ -289,6 +302,50 @@ fn estimate_drill(skip: u64) {
     assert_eq!(wrapped.ladder().len(), 1, "one switch, recorded once");
 }
 
+/// Injects at a serve site and asserts the server keeps speaking the
+/// protocol: every request still gets a framed response — the injected
+/// failure surfaces as an `err` frame, never a dropped connection or a
+/// hang — and shutdown still drains the accept loop.
+fn serve_drill(site: &'static str, skip: u64) {
+    let session = failpoint::session();
+    session.arm(site, FailAction::Error, skip);
+    let errors = within(WATCHDOG, move || {
+        let registry = std::sync::Arc::new(wrt::serve::Registry::new());
+        let handle = wrt::serve::spawn(registry, "127.0.0.1:0", None).expect("server spawns");
+        let addr = handle.addr().to_string();
+        let spec = flippable_gate_spec(&wrt::workloads::s1());
+        let argv: Vec<String> = ["eco", "s1", "--set", spec.as_str()]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let mut errors = 0u32;
+        // A fresh connection per request, so the accept site passes every
+        // time; each request passes the session and ECO-apply sites once.
+        for _ in 0..4 {
+            match wrt::serve::client::request(&addr, &argv).expect("a frame must come back") {
+                Ok(_) => {}
+                Err(message) => {
+                    errors += 1;
+                    assert!(!message.is_empty(), "error frames carry a reason");
+                }
+            }
+        }
+        handle.trigger_shutdown();
+        handle.wait();
+        errors
+    });
+    if session.fired().is_empty() {
+        // The skip outlived the traffic: legal, but the arm must still be
+        // accounted for — not silently lost.
+        assert_eq!(session.still_armed(), vec![site.to_string()]);
+    } else {
+        assert!(
+            errors >= 1,
+            "{site} skip {skip}: a fired arm must surface as an err frame"
+        );
+    }
+}
+
 #[test]
 fn drill_workloads_exercise_every_planted_site() {
     let session = failpoint::session();
@@ -333,6 +390,20 @@ fn drill_workloads_exercise_every_planted_site() {
             &Budget::unlimited(),
         );
         assert!(outcome.is_complete());
+        // Resident server: the accept loop, the per-request session
+        // handler, and the ECO overlay apply each pass their site.
+        let registry = std::sync::Arc::new(wrt::serve::Registry::new());
+        let handle = wrt::serve::spawn(registry, "127.0.0.1:0", None).expect("server spawns");
+        let addr = handle.addr().to_string();
+        let spec = flippable_gate_spec(&circuit);
+        let argv: Vec<String> = ["eco", "s1", "--set", spec.as_str()]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let response = wrt::serve::client::request(&addr, &argv).expect("transport");
+        assert!(response.is_ok(), "{response:?}");
+        handle.trigger_shutdown();
+        handle.wait();
     });
     for site in sites::ALL {
         assert!(
@@ -344,7 +415,8 @@ fn drill_workloads_exercise_every_planted_site() {
 
 /// The storm: one seed, one deterministic injection plan, one drill.
 /// Every seed must end in recovery or a structured error within the
-/// watchdog — across all six sites, both actions, early and late skips.
+/// watchdog — across every planted site, both actions, early and late
+/// skips.
 #[test]
 fn seeded_injection_storm_recovers_or_errors_never_hangs() {
     for seed in 0..30u64 {
@@ -376,6 +448,9 @@ fn seeded_injection_storm_recovers_or_errors_never_hangs() {
                     FailAction::Error
                 };
                 tile_drill(action, skip, false);
+            }
+            sites::SERVE_ACCEPT | sites::SERVE_SESSION | sites::SERVE_ECO_APPLY => {
+                serve_drill(site, skip);
             }
             other => unreachable!("unknown site {other}"),
         }
